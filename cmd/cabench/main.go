@@ -1,0 +1,84 @@
+// Command cabench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cabench -list
+//	cabench -exp fig5                  # one experiment, modeled at paper scale
+//	cabench -exp all                   # everything
+//	cabench -exp table1 -measured     # real execution at reduced scale
+//	cabench -exp fig8 -workers 8 -v
+//
+// Modeled mode (default) builds the algorithms' real task graphs at the
+// paper's sizes and schedules them in virtual time on the calibrated
+// machine models; measured mode runs the actual factorizations at reduced
+// sizes and reports wall-clock GFlop/s.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		measured = flag.Bool("measured", false, "run real factorizations at reduced scale instead of the paper-scale model")
+		workers  = flag.Int("workers", 0, "goroutines for measured runs (0 = NumCPU)")
+		verbose  = flag.Bool("v", false, "print progress")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-20s %s (%s)\n", e.ID, e.Title, e.PaperRef)
+		}
+		return
+	}
+
+	cfg := bench.Config{Workers: *workers}
+	if *measured {
+		cfg.Mode = bench.Measured
+	}
+	if *verbose {
+		cfg.Verbose = os.Stderr
+	}
+
+	emit := func(t *bench.Table) {
+		t.Format(os.Stdout)
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, t.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "csv:", err)
+				os.Exit(1)
+			}
+			t.WriteCSV(f)
+			f.Close()
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "csv:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			emit(e.Run(cfg))
+		}
+		return
+	}
+	e, ok := bench.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+	emit(e.Run(cfg))
+}

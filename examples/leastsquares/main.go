@@ -1,0 +1,87 @@
+// Least squares: fit an overdetermined model with tall-skinny QR.
+//
+// A classic data-fitting task: 50,000 noisy observations of a polynomial
+// plus sinusoid model with 12 parameters. The design matrix is 50000 x 12 —
+// the extreme tall-and-skinny shape for which the paper's TSQR panel
+// factorization was designed. The example solves the normal-equations-free
+// least squares problem min ||A x - b|| via CAQR and reports the recovered
+// coefficients and residual.
+//
+//	go run ./examples/leastsquares
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/factor"
+)
+
+const (
+	samples = 50000
+	params  = 12
+	noise   = 0.05
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// Ground-truth coefficients.
+	truth := make([]float64, params)
+	for i := range truth {
+		truth[i] = float64(i%5) - 2 + 0.25*float64(i)
+	}
+
+	// Design matrix: Chebyshev polynomial basis up to degree 7 (well
+	// conditioned, unlike raw monomials) plus 4 Fourier terms on t in
+	// [0, 1); observations with Gaussian noise.
+	a := factor.NewMatrix(samples, params)
+	b := factor.NewMatrix(samples, 1)
+	for i := 0; i < samples; i++ {
+		t := float64(i) / samples
+		u := 2*t - 1 // map to [-1, 1] for the Chebyshev recurrence
+		row := make([]float64, params)
+		row[0], row[1] = 1, u
+		for d := 2; d < 8; d++ {
+			row[d] = 2*u*row[d-1] - row[d-2]
+		}
+		row[8] = math.Sin(6 * math.Pi * t)
+		row[9] = math.Cos(6 * math.Pi * t)
+		row[10] = math.Sin(10 * math.Pi * t)
+		row[11] = math.Cos(10 * math.Pi * t)
+		y := 0.0
+		for j, c := range truth {
+			a.Set(i, j, row[j])
+			y += c * row[j]
+		}
+		b.Set(i, 0, y+noise*rng.NormFloat64())
+	}
+
+	design := a.Clone()
+	qr := factor.QR(a, factor.Options{PanelThreads: 8})
+	x := qr.LeastSquares(b.Clone())
+
+	fmt.Println("coefficient   truth     estimate   error")
+	worst := 0.0
+	for i := 0; i < params; i++ {
+		err := math.Abs(x.At(i, 0) - truth[i])
+		if err > worst {
+			worst = err
+		}
+		fmt.Printf("  x[%2d]     %8.4f   %8.4f   %.2e\n", i, truth[i], x.At(i, 0), err)
+	}
+
+	// Residual norm of the fit.
+	resid := 0.0
+	for i := 0; i < samples; i++ {
+		pred := 0.0
+		for j := 0; j < params; j++ {
+			pred += design.At(i, j) * x.At(j, 0)
+		}
+		d := pred - b.At(i, 0)
+		resid += d * d
+	}
+	fmt.Printf("\nRMS residual: %.4f (noise level %.2f)\n", math.Sqrt(resid/samples), noise)
+	fmt.Printf("worst coefficient error: %.2e\n", worst)
+}

@@ -1,0 +1,77 @@
+// Mixed precision: solve the same dense system with plain double-precision
+// CALU and with float32-factorization + float64 iterative refinement, and
+// compare accuracy and time. Single precision halves memory traffic and
+// (on real hardware) roughly doubles kernel throughput; refinement buys
+// the accuracy back when the matrix is reasonably conditioned — the
+// companion technique of the paper's research group (Langou et al. 2006).
+//
+//	go run ./examples/mixedprecision
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/factor"
+)
+
+const n = 1200
+
+func main() {
+	// A well-conditioned dense system.
+	a := factor.Random(n, n, 17)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+12)
+	}
+	xStar := factor.Random(n, 1, 18)
+	b := factor.NewMatrix(n, 1)
+	for j := 0; j < n; j++ {
+		xj := xStar.At(j, 0)
+		col := a.Col(j)
+		dst := b.Col(0)
+		for i := range col {
+			dst[i] += col[i] * xj
+		}
+	}
+
+	// Double-precision CALU solve.
+	lu64 := a.Clone()
+	rhs64 := b.Clone()
+	t0 := time.Now()
+	f, err := factor.LU(lu64, factor.Options{})
+	if err != nil {
+		panic(err)
+	}
+	f.Solve(rhs64)
+	t64 := time.Since(t0)
+	fmt.Printf("float64 CALU:    %8.1f ms   error %.2e\n",
+		t64.Seconds()*1e3, maxErr(rhs64, xStar))
+
+	// Mixed-precision solve.
+	rhsMx := b.Clone()
+	t0 = time.Now()
+	iters, err := factor.SolveMixed(a, rhsMx, 10)
+	if err != nil {
+		panic(err)
+	}
+	tMx := time.Since(t0)
+	fmt.Printf("mixed precision: %8.1f ms   error %.2e   (%d refinement steps)\n",
+		tMx.Seconds()*1e3, maxErr(rhsMx, xStar), iters)
+
+	fmt.Println()
+	fmt.Println("Both reach double-precision accuracy; the mixed solver does its")
+	fmt.Println("O(n^3) work in float32 (half the memory traffic, and on real")
+	fmt.Println("SIMD hardware about twice the flop rate), paying only a few")
+	fmt.Println("cheap O(n^2) refinement sweeps in float64.")
+}
+
+func maxErr(x, ref *factor.Matrix) float64 {
+	worst := 0.0
+	for i := 0; i < x.Rows; i++ {
+		if d := math.Abs(x.At(i, 0) - ref.At(i, 0)); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,115 @@
+// Orthogonalize: the paper's motivating tall-and-skinny workload — block
+// orthogonalization inside a block iterative method.
+//
+// A Krylov-style iteration produces a few new basis vectors per step; each
+// batch must be orthogonalized against itself (and previous blocks) before
+// the next matrix-vector products. The batch is an m x k matrix with
+// m >> k, exactly the shape where TSQR/CAQR beats column-by-column
+// Gram-Schmidt and classic Householder QR. This example runs a simple
+// block-power iteration on a synthetic operator and uses CAQR for the
+// orthogonalization step, tracking subspace convergence.
+//
+//	go run ./examples/orthogonalize
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/factor"
+)
+
+const (
+	dim       = 4000 // operator dimension (m of the tall-skinny QR)
+	blockSize = 8    // basis vectors per batch (n of the tall-skinny QR)
+	steps     = 30
+)
+
+func main() {
+	// Synthetic symmetric operator with known spectrum: diagonal decay
+	// lambda_i = 1/i plus a mild random orthogonal mixing is overkill for
+	// a demo, so use the diagonal directly — convergence rates are what
+	// the orthogonalization quality shows.
+	lambda := make([]float64, dim)
+	for i := range lambda {
+		lambda[i] = 1 / float64(i+1)
+	}
+
+	// Start from a random block.
+	v := factor.Random(dim, blockSize, 3)
+	orthonormalize(v)
+
+	for step := 1; step <= steps; step++ {
+		// V <- A V (diagonal operator).
+		for j := 0; j < blockSize; j++ {
+			col := v.Col(j)
+			for i := range col {
+				col[i] *= lambda[i]
+			}
+		}
+		// Re-orthogonalize the block with tall-skinny QR. Without this the
+		// columns collapse onto the dominant eigenvector within a few steps.
+		orthonormalize(v)
+
+		if step%10 == 0 {
+			fmt.Printf("step %2d: subspace residual = %.3e, orthogonality = %.3e\n",
+				step, subspaceResidual(v, lambda), orthoError(v))
+		}
+	}
+	fmt.Println()
+	fmt.Println("The dominant eigenvectors of the diagonal operator are the")
+	fmt.Println("coordinate directions e_1..e_k; the residual above measures")
+	fmt.Println("how far the computed block is from spanning them.")
+}
+
+// orthonormalize replaces v's columns with an orthonormal basis of their
+// span using communication-avoiding QR (Q overwrites v).
+func orthonormalize(v *factor.Matrix) {
+	work := v.Clone()
+	qr := factor.QR(work, factor.Options{PanelThreads: 8, BlockSize: blockSize})
+	v.CopyFrom(qr.Q())
+}
+
+// subspaceResidual measures || (I - V V^T) e_i || summed over the dominant
+// directions e_1..e_k.
+func subspaceResidual(v *factor.Matrix, lambda []float64) float64 {
+	_ = lambda
+	k := v.Cols
+	total := 0.0
+	for target := 0; target < k; target++ {
+		// Projection of e_target onto span(V) has coefficients = row
+		// `target` of V; residual norm^2 = 1 - sum of squares of that row.
+		row := v.Row(target)
+		s := 0.0
+		for _, x := range row {
+			s += x * x
+		}
+		if s > 1 {
+			s = 1
+		}
+		total += math.Sqrt(1 - s)
+	}
+	return total
+}
+
+// orthoError returns ||V^T V - I||_max.
+func orthoError(v *factor.Matrix) float64 {
+	k := v.Cols
+	worst := 0.0
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			s := 0.0
+			ci, cj := v.Col(i), v.Col(j)
+			for r := range ci {
+				s += ci[r] * cj[r]
+			}
+			if i == j {
+				s -= 1
+			}
+			if a := math.Abs(s); a > worst {
+				worst = a
+			}
+		}
+	}
+	return worst
+}

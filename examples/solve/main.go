@@ -1,0 +1,94 @@
+// Solve: dense linear system via CALU with iterative refinement.
+//
+// Discretizes a 2-D integral-equation-style kernel into a dense system
+// A x = b, factors it once with communication-avoiding LU, and improves the
+// solution with a few steps of iterative refinement — the standard pattern
+// for dense direct solvers. Demonstrates that the tournament-pivoted
+// factorization is accurate enough that refinement converges to machine
+// precision in one or two steps.
+//
+//	go run ./examples/solve
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/factor"
+)
+
+const n = 800
+
+func main() {
+	// Dense kernel matrix: K(s, t) = exp(-|s-t|) on a uniform grid plus a
+	// diagonal shift (a discretized second-kind Fredholm equation, a
+	// classic source of dense well-conditioned systems).
+	a := factor.NewMatrix(n, n)
+	h := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s, t := float64(i)*h, float64(j)*h
+			a.Set(i, j, h*math.Exp(-math.Abs(s-t)))
+		}
+		a.Set(i, i, a.At(i, i)+1)
+	}
+
+	// Right-hand side for a known smooth solution x*(t) = sin(pi t).
+	xStar := factor.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		xStar.Set(i, 0, math.Sin(math.Pi*float64(i)*h))
+	}
+	b := matVec(a, xStar)
+
+	// Factor once.
+	fac := a.Clone()
+	lu, err := factor.LU(fac, factor.Options{PanelThreads: 4, BlockSize: 64})
+	if err != nil {
+		panic(err)
+	}
+
+	// Initial solve.
+	x := b.Clone()
+	lu.Solve(x)
+	fmt.Printf("initial solve:      error = %.3e\n", maxErr(x, xStar))
+
+	// Iterative refinement: r = b - A x, correct with the same factors.
+	for it := 1; it <= 3; it++ {
+		r := b.Clone()
+		ax := matVec(a, x)
+		for i := 0; i < n; i++ {
+			r.Set(i, 0, r.At(i, 0)-ax.At(i, 0))
+		}
+		lu.Solve(r)
+		for i := 0; i < n; i++ {
+			x.Set(i, 0, x.At(i, 0)+r.At(i, 0))
+		}
+		fmt.Printf("refinement step %d:  error = %.3e, correction = %.3e\n",
+			it, maxErr(x, xStar), r.MaxAbs())
+	}
+	fmt.Println("\nThe correction shrinking to ~1e-16 per step shows the CALU")
+	fmt.Println("factorization is backward stable on this system.")
+}
+
+func matVec(a, x *factor.Matrix) *factor.Matrix {
+	y := factor.NewMatrix(a.Rows, 1)
+	for j := 0; j < a.Cols; j++ {
+		xj := x.At(j, 0)
+		col := a.Col(j)
+		yc := y.Col(0)
+		for i := range col {
+			yc[i] += col[i] * xj
+		}
+	}
+	return y
+}
+
+func maxErr(x, ref *factor.Matrix) float64 {
+	worst := 0.0
+	for i := 0; i < x.Rows; i++ {
+		if d := math.Abs(x.At(i, 0) - ref.At(i, 0)); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,165 @@
+// Package baseline builds virtual-time task graphs for the vendor-library
+// routines the paper compares against: the BLAS-2 panel factorizations
+// dgetf2/dgeqr2 and the blocked, fork-join parallel dgetrf/dgeqrf (the
+// MKL/ACML stand-ins).
+//
+// The blocked routines are modeled the way multithreaded vendor LAPACK
+// worked at the time of the paper (and the way the paper describes it):
+// the panel is factored with a BLAS-2 kernel on the critical path, then the
+// trailing update is split across cores with a barrier before the next
+// panel — no look-ahead, no dynamic scheduling. The memory-bound BLAS-2
+// panel is exactly the bottleneck that makes these routines slow on tall
+// and skinny matrices, which is the effect Figures 5-8 of the paper
+// quantify. Measured (real execution) counterparts of these baselines are
+// lapack.GETF2/GETRF/PGETRF and lapack.GEQR2/GEQRF/PGEQRF.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// LUFlops is the canonical operation count of an LU factorization of an
+// m x n matrix (m >= n): m*n^2 - n^3/3.
+func LUFlops(m, n int) float64 {
+	fm, fn := float64(m), float64(n)
+	return fm*fn*fn - fn*fn*fn/3
+}
+
+// QRFlops is the canonical operation count of a Householder QR
+// factorization of an m x n matrix (m >= n): 2*n^2*(m - n/3).
+func QRFlops(m, n int) float64 {
+	fm, fn := float64(m), float64(n)
+	return 2 * fn * fn * (fm - fn/3)
+}
+
+// BuildGETF2Graph models the unblocked BLAS-2 LU routine dgetf2 applied to
+// the whole matrix: a single memory-bound sequential task.
+func BuildGETF2Graph(m, n int) *sched.Graph {
+	g := sched.NewGraph()
+	g.Add(&sched.Task{
+		Label: fmt.Sprintf("dgetf2 %dx%d", m, n),
+		Kind:  sched.KindP,
+		Flops: LUFlops(m, n),
+		Class: sched.ClassBLAS2,
+	})
+	return g
+}
+
+// BuildGEQR2Graph models the unblocked BLAS-2 QR routine dgeqr2.
+func BuildGEQR2Graph(m, n int) *sched.Graph {
+	g := sched.NewGraph()
+	g.Add(&sched.Task{
+		Label: fmt.Sprintf("dgeqr2 %dx%d", m, n),
+		Kind:  sched.KindP,
+		Flops: QRFlops(m, n),
+		Class: sched.ClassBLAS2,
+	})
+	return g
+}
+
+// BuildGETRFGraph models blocked dgetrf with panel width nb on the given
+// core count, with the one-step look-ahead modern vendor libraries use: per
+// iteration a panel task (BLAS-2/recursive, on the critical path), then
+// trailing-update tasks of which the first covers exactly the next panel's
+// columns — the next panel depends only on that chunk, while the remaining
+// chunks barrier against the following iteration's updates.
+func BuildGETRFGraph(m, n, nb, cores int) *sched.Graph {
+	return buildVendorGraph(m, n, nb, cores, "dgetrf", func(rows, jb, w, trailRows int) (panelFlops, updFlops float64, class sched.Class) {
+		return LUFlops(rows, jb),
+			float64(jb)*float64(jb)*float64(w) + 2*float64(trailRows)*float64(jb)*float64(w),
+			sched.ClassRecursive
+	})
+}
+
+// BuildGEQRFGraph models blocked dgeqrf with panel width nb: a BLAS-2
+// dgeqr2 panel (the paper names MKL_dgeqr2 as dgeqrf's panel kernel), then
+// dlarfb update tasks, with the same one-step look-ahead as BuildGETRFGraph.
+func BuildGEQRFGraph(m, n, nb, cores int) *sched.Graph {
+	return buildVendorGraph(m, n, nb, cores, "dgeqrf", func(rows, jb, w, trailRows int) (panelFlops, updFlops float64, class sched.Class) {
+		return QRFlops(rows, jb),
+			4 * float64(rows) * float64(jb) * float64(w),
+			sched.ClassBLAS2
+	})
+}
+
+// buildVendorGraph is the shared skeleton of the blocked vendor-library
+// models. kernel returns the panel flops, the update flops for a w-column
+// chunk, and the panel's kernel class, given the active rows.
+func buildVendorGraph(m, n, nb, cores int, name string, kernel func(rows, jb, w, trailRows int) (float64, float64, sched.Class)) *sched.Graph {
+	if nb < 1 || cores < 1 {
+		panic(fmt.Sprintf("baseline: nb=%d cores=%d", nb, cores))
+	}
+	g := sched.NewGraph()
+	k := min(m, n)
+	var prevPanelChunk *sched.Task // update chunk covering the next panel
+	var prevBarrier []*sched.Task  // all other update chunks of the previous iteration
+	for j := 0; j < k; j += nb {
+		jb := min(nb, k-j)
+		rows := m - j
+		pf, _, class := kernel(rows, jb, 0, 0)
+		panel := g.Add(&sched.Task{
+			Label: fmt.Sprintf("%s panel j=%d", name, j),
+			Kind:  sched.KindP,
+			Flops: pf,
+			Class: class,
+			Rows:  rows,
+		})
+		if prevPanelChunk != nil {
+			g.AddDep(prevPanelChunk, panel)
+		}
+		trailCols := n - j - jb
+		trailRows := m - j - jb
+		if trailCols <= 0 {
+			prevPanelChunk = panel
+			prevBarrier = nil
+			continue
+		}
+		// Chunk 0: the next panel's columns (width min(nb, trailCols)).
+		// Remaining columns split over the other cores.
+		widths := []int{min(nb, trailCols)}
+		rest := trailCols - widths[0]
+		if rest > 0 {
+			chunks := min(cores-1, rest)
+			if chunks < 1 {
+				chunks = 1
+			}
+			base, extra := rest/chunks, rest%chunks
+			for c := 0; c < chunks; c++ {
+				w := base
+				if c < extra {
+					w++
+				}
+				if w > 0 {
+					widths = append(widths, w)
+				}
+			}
+		}
+		var newBarrier []*sched.Task
+		var newPanelChunk *sched.Task
+		for c, w := range widths {
+			_, uf, _ := kernel(rows, jb, w, trailRows)
+			upd := g.Add(&sched.Task{
+				Label: fmt.Sprintf("%s update j=%d c=%d", name, j, c),
+				Kind:  sched.KindS,
+				Flops: uf,
+				Class: sched.ClassBLAS3,
+			})
+			g.AddDep(panel, upd)
+			// Column-conflict barrier against the previous iteration's
+			// update wave (chunk boundaries shift, so be conservative).
+			for _, t := range prevBarrier {
+				g.AddDep(t, upd)
+			}
+			if c == 0 {
+				newPanelChunk = upd
+			} else {
+				newBarrier = append(newBarrier, upd)
+			}
+		}
+		prevPanelChunk = newPanelChunk
+		prevBarrier = newBarrier
+	}
+	return g
+}

@@ -1,0 +1,99 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/simsched"
+)
+
+func TestFlopCounts(t *testing.T) {
+	// Square LU: 2/3 n^3; square QR: 4/3 n^3.
+	n := 300
+	if got, want := LUFlops(n, n), 2.0/3.0*math.Pow(float64(n), 3); math.Abs(got-want) > 1 {
+		t.Fatalf("LUFlops = %v want %v", got, want)
+	}
+	if got, want := QRFlops(n, n), 4.0/3.0*math.Pow(float64(n), 3); math.Abs(got-want) > 1 {
+		t.Fatalf("QRFlops = %v want %v", got, want)
+	}
+	// Tall-skinny dominated by m n^2 / 2 m n^2.
+	if got := LUFlops(100000, 10); math.Abs(got-1e7)/1e7 > 0.01 {
+		t.Fatalf("tall LUFlops = %v", got)
+	}
+}
+
+func TestGraphsValidate(t *testing.T) {
+	for _, g := range []*sched.Graph{
+		BuildGETF2Graph(1000, 100),
+		BuildGEQR2Graph(1000, 100),
+		BuildGETRFGraph(1000, 500, 64, 8),
+		BuildGEQRFGraph(1000, 500, 64, 8),
+		BuildGETRFGraph(100, 100, 100, 4), // single panel, no updates
+		BuildGETRFGraph(97, 37, 10, 3),    // ragged
+	} {
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGraphFlopsMatchCanonical(t *testing.T) {
+	// The fork-join dgetrf graph's total flops must approximate the
+	// canonical count (panel + trsm + gemm telescope to it).
+	m, n, nb := 2000, 1000, 64
+	g := BuildGETRFGraph(m, n, nb, 8)
+	total := 0.0
+	for _, task := range g.Tasks() {
+		total += task.Flops
+	}
+	want := LUFlops(m, n)
+	if math.Abs(total-want)/want > 0.05 {
+		t.Fatalf("graph flops %.3g vs canonical %.3g", total, want)
+	}
+}
+
+func TestGETF2SingleTask(t *testing.T) {
+	g := BuildGETF2Graph(5000, 100)
+	if g.Len() != 1 {
+		t.Fatalf("dgetf2 graph has %d tasks", g.Len())
+	}
+	if g.Task(0).Class != sched.ClassBLAS2 {
+		t.Fatal("dgetf2 must be BLAS2 class")
+	}
+}
+
+func TestForkJoinBarrierStructure(t *testing.T) {
+	// With fork-join, the second panel depends on every update of the
+	// first iteration: critical path in unit time = panels + one update
+	// per iteration.
+	g := BuildGETRFGraph(40, 40, 10, 4)
+	span, work := g.CriticalPath(func(*sched.Task) float64 { return 1 })
+	// 4 iterations: panel+update, panel+update, panel+update, panel = 7.
+	if span != 7 {
+		t.Fatalf("span = %v want 7", span)
+	}
+	if work <= span {
+		t.Fatalf("work %v should exceed span %v", work, span)
+	}
+}
+
+// TestPanelBoundTallSkinny verifies the modeled headline effect: on a tall
+// and skinny matrix, fork-join dgetrf is panel-(BLAS2-)bound, so its
+// simulated GFlop/s are far below the machine's BLAS3 capability.
+func TestPanelBoundTallSkinny(t *testing.T) {
+	mach := machine.Intel8()
+	m, n := 100000, 100
+	res := simsched.Run(BuildGETRFGraph(m, n, 64, mach.Cores), mach)
+	gf := res.GFlops(LUFlops(m, n))
+	if gf > 5 {
+		t.Fatalf("tall-skinny dgetrf %v GFlop/s: not panel bound?", gf)
+	}
+	// Square should be much faster (update dominated).
+	resSq := simsched.Run(BuildGETRFGraph(5000, 5000, 64, mach.Cores), mach)
+	gfSq := resSq.GFlops(LUFlops(5000, 5000))
+	if gfSq < 5*gf {
+		t.Fatalf("square dgetrf %v vs tall %v: no BLAS3 recovery", gfSq, gf)
+	}
+}

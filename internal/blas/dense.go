@@ -1,0 +1,72 @@
+package blas
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C on Dense operands.
+// It is a thin shape-checked wrapper over Dgemm used throughout the
+// factorization and test code.
+func Gemm(transA, transB Transpose, alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense) {
+	m, ka := a.Rows, a.Cols
+	if transA == Trans {
+		m, ka = a.Cols, a.Rows
+	}
+	kb, n := b.Rows, b.Cols
+	if transB == Trans {
+		kb, n = b.Cols, b.Rows
+	}
+	if ka != kb || c.Rows != m || c.Cols != n {
+		panic(fmt.Sprintf("blas: Gemm shape mismatch op(A)=%dx%d op(B)=%dx%d C=%dx%d", m, ka, kb, n, c.Rows, c.Cols))
+	}
+	Dgemm(transA, transB, m, n, ka, alpha, a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+}
+
+// Mul returns op(A)*op(B) in a newly allocated matrix.
+func Mul(transA, transB Transpose, a, b *matrix.Dense) *matrix.Dense {
+	m := a.Rows
+	if transA == Trans {
+		m = a.Cols
+	}
+	n := b.Cols
+	if transB == Trans {
+		n = b.Rows
+	}
+	c := matrix.New(m, n)
+	Gemm(transA, transB, 1, a, b, 0, c)
+	return c
+}
+
+// Trsm solves op(A)*X = alpha*B or X*op(A) = alpha*B in place on Dense
+// operands; A must be square and match the corresponding dimension of B.
+func Trsm(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, a, b *matrix.Dense) {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("blas: Trsm triangular matrix not square: %dx%d", a.Rows, a.Cols))
+	}
+	need := b.Rows
+	if side == Right {
+		need = b.Cols
+	}
+	if a.Rows != need {
+		panic(fmt.Sprintf("blas: Trsm dimension mismatch A=%d B=%dx%d side=%v", a.Rows, b.Rows, b.Cols, side))
+	}
+	Dtrsm(side, uplo, trans, diag, b.Rows, b.Cols, alpha, a.Data, a.Stride, b.Data, b.Stride)
+}
+
+// Trmm computes B = alpha*op(A)*B or B = alpha*B*op(A) in place on Dense
+// operands.
+func Trmm(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, a, b *matrix.Dense) {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("blas: Trmm triangular matrix not square: %dx%d", a.Rows, a.Cols))
+	}
+	need := b.Rows
+	if side == Right {
+		need = b.Cols
+	}
+	if a.Rows != need {
+		panic(fmt.Sprintf("blas: Trmm dimension mismatch A=%d B=%dx%d side=%v", a.Rows, b.Rows, b.Cols, side))
+	}
+	Dtrmm(side, uplo, trans, diag, b.Rows, b.Cols, alpha, a.Data, a.Stride, b.Data, b.Stride)
+}

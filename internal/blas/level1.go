@@ -1,0 +1,168 @@
+// Package blas implements the subset of the BLAS (Basic Linear Algebra
+// Subprograms) needed by the LU and QR factorizations in this repository.
+//
+// All routines operate on column-major storage with an explicit leading
+// dimension, mirroring the reference BLAS so that the factorization code
+// reads like its LAPACK counterpart. Vector routines take an increment,
+// matrix routines take a leading dimension. Routines panic on invalid
+// dimensions: these are programming errors in callers, not runtime
+// conditions to recover from.
+package blas
+
+import (
+	"fmt"
+	"math"
+)
+
+// Idamax returns the index of the element of x with the largest absolute
+// value, scanning n elements with stride incX. It returns -1 when n <= 0.
+// Ties resolve to the first occurrence, as in the reference BLAS, which the
+// pivoting code relies on for determinism.
+func Idamax(n int, x []float64, incX int) int {
+	if n <= 0 {
+		return -1
+	}
+	if incX <= 0 {
+		panic(fmt.Sprintf("blas: bad increment %d", incX))
+	}
+	best, bestAbs := 0, math.Abs(x[0])
+	idx := incX
+	for i := 1; i < n; i++ {
+		if a := math.Abs(x[idx]); a > bestAbs {
+			best, bestAbs = i, a
+		}
+		idx += incX
+	}
+	return best
+}
+
+// Dscal scales n elements of x by alpha: x = alpha * x.
+func Dscal(n int, alpha float64, x []float64, incX int) {
+	if n <= 0 {
+		return
+	}
+	if incX <= 0 {
+		panic(fmt.Sprintf("blas: bad increment %d", incX))
+	}
+	if incX == 1 {
+		for i := 0; i < n; i++ {
+			x[i] *= alpha
+		}
+		return
+	}
+	for i, idx := 0, 0; i < n; i, idx = i+1, idx+incX {
+		x[idx] *= alpha
+	}
+}
+
+// Daxpy computes y = alpha*x + y over n elements.
+func Daxpy(n int, alpha float64, x []float64, incX int, y []float64, incY int) {
+	if n <= 0 || alpha == 0 {
+		return
+	}
+	if incX <= 0 || incY <= 0 {
+		panic(fmt.Sprintf("blas: bad increments %d %d", incX, incY))
+	}
+	if incX == 1 && incY == 1 {
+		x = x[:n]
+		y = y[:n]
+		for i, v := range x {
+			y[i] += alpha * v
+		}
+		return
+	}
+	ix, iy := 0, 0
+	for i := 0; i < n; i++ {
+		y[iy] += alpha * x[ix]
+		ix += incX
+		iy += incY
+	}
+}
+
+// Ddot returns the dot product of n elements of x and y.
+func Ddot(n int, x []float64, incX int, y []float64, incY int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if incX <= 0 || incY <= 0 {
+		panic(fmt.Sprintf("blas: bad increments %d %d", incX, incY))
+	}
+	sum := 0.0
+	if incX == 1 && incY == 1 {
+		x = x[:n]
+		y = y[:n]
+		for i, v := range x {
+			sum += v * y[i]
+		}
+		return sum
+	}
+	ix, iy := 0, 0
+	for i := 0; i < n; i++ {
+		sum += x[ix] * y[iy]
+		ix += incX
+		iy += incY
+	}
+	return sum
+}
+
+// Dnrm2 returns the Euclidean norm of n elements of x, with scaling to
+// avoid overflow/underflow (the LAPACK dlassq approach).
+func Dnrm2(n int, x []float64, incX int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if incX <= 0 {
+		panic(fmt.Sprintf("blas: bad increment %d", incX))
+	}
+	scale, ssq := 0.0, 1.0
+	idx := 0
+	for i := 0; i < n; i++ {
+		if v := x[idx]; v != 0 {
+			a := math.Abs(v)
+			if scale < a {
+				ssq = 1 + ssq*(scale/a)*(scale/a)
+				scale = a
+			} else {
+				ssq += (a / scale) * (a / scale)
+			}
+		}
+		idx += incX
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Dswap exchanges n elements of x and y.
+func Dswap(n int, x []float64, incX int, y []float64, incY int) {
+	if n <= 0 {
+		return
+	}
+	if incX <= 0 || incY <= 0 {
+		panic(fmt.Sprintf("blas: bad increments %d %d", incX, incY))
+	}
+	ix, iy := 0, 0
+	for i := 0; i < n; i++ {
+		x[ix], y[iy] = y[iy], x[ix]
+		ix += incX
+		iy += incY
+	}
+}
+
+// Dcopy copies n elements of x into y.
+func Dcopy(n int, x []float64, incX int, y []float64, incY int) {
+	if n <= 0 {
+		return
+	}
+	if incX <= 0 || incY <= 0 {
+		panic(fmt.Sprintf("blas: bad increments %d %d", incX, incY))
+	}
+	if incX == 1 && incY == 1 {
+		copy(y[:n], x[:n])
+		return
+	}
+	ix, iy := 0, 0
+	for i := 0; i < n; i++ {
+		y[iy] = x[ix]
+		ix += incX
+		iy += incY
+	}
+}

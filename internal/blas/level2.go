@@ -1,0 +1,266 @@
+package blas
+
+import "fmt"
+
+// Transpose selects whether a matrix argument is used as-is or transposed.
+type Transpose bool
+
+// Transpose values.
+const (
+	NoTrans Transpose = false
+	Trans   Transpose = true
+)
+
+// Side selects whether a triangular factor multiplies from the left or the
+// right in Dtrsm/Dtrmm.
+type Side int
+
+// Side values.
+const (
+	Left Side = iota
+	Right
+)
+
+// Uplo selects the triangle of a triangular matrix argument.
+type Uplo int
+
+// Uplo values.
+const (
+	Upper Uplo = iota
+	Lower
+)
+
+// Diag states whether a triangular matrix has an implicit unit diagonal.
+type Diag int
+
+// Diag values.
+const (
+	NonUnit Diag = iota
+	Unit
+)
+
+// Dger performs the rank-1 update A = A + alpha * x * y^T where A is m x n
+// with leading dimension lda.
+func Dger(m, n int, alpha float64, x []float64, incX int, y []float64, incY int, a []float64, lda int) {
+	if m < 0 || n < 0 || lda < max(1, m) {
+		panic(fmt.Sprintf("blas: Dger bad dims m=%d n=%d lda=%d", m, n, lda))
+	}
+	if m == 0 || n == 0 || alpha == 0 {
+		return
+	}
+	iy := 0
+	for j := 0; j < n; j++ {
+		ajy := alpha * y[iy]
+		iy += incY
+		if ajy == 0 {
+			continue
+		}
+		col := a[j*lda : j*lda+m]
+		if incX == 1 {
+			for i, xv := range x[:m] {
+				col[i] += xv * ajy
+			}
+		} else {
+			ix := 0
+			for i := 0; i < m; i++ {
+				col[i] += x[ix] * ajy
+				ix += incX
+			}
+		}
+	}
+}
+
+// Dgemv computes y = alpha*op(A)*x + beta*y for an m x n matrix A.
+func Dgemv(trans Transpose, m, n int, alpha float64, a []float64, lda int, x []float64, incX int, beta float64, y []float64, incY int) {
+	if m < 0 || n < 0 || lda < max(1, m) {
+		panic(fmt.Sprintf("blas: Dgemv bad dims m=%d n=%d lda=%d", m, n, lda))
+	}
+	lenY := m
+	if trans == Trans {
+		lenY = n
+	}
+	if beta != 1 {
+		iy := 0
+		for i := 0; i < lenY; i++ {
+			if beta == 0 {
+				y[iy] = 0
+			} else {
+				y[iy] *= beta
+			}
+			iy += incY
+		}
+	}
+	if m == 0 || n == 0 || alpha == 0 {
+		return
+	}
+	if trans == NoTrans {
+		// y += alpha * A * x, column by column.
+		ix := 0
+		for j := 0; j < n; j++ {
+			ajx := alpha * x[ix]
+			ix += incX
+			if ajx == 0 {
+				continue
+			}
+			col := a[j*lda : j*lda+m]
+			if incY == 1 {
+				for i, v := range col {
+					y[i] += ajx * v
+				}
+			} else {
+				iy := 0
+				for i := 0; i < m; i++ {
+					y[iy] += ajx * col[i]
+					iy += incY
+				}
+			}
+		}
+		return
+	}
+	// y += alpha * A^T * x: each y[j] is a dot of column j with x.
+	iy := 0
+	for j := 0; j < n; j++ {
+		col := a[j*lda : j*lda+m]
+		sum := 0.0
+		if incX == 1 {
+			for i, v := range col {
+				sum += v * x[i]
+			}
+		} else {
+			ix := 0
+			for i := 0; i < m; i++ {
+				sum += col[i] * x[ix]
+				ix += incX
+			}
+		}
+		y[iy] += alpha * sum
+		iy += incY
+	}
+}
+
+// Dtrsv solves op(A)*x = b in place (x overwrites b) for a triangular n x n
+// matrix A.
+func Dtrsv(uplo Uplo, trans Transpose, diag Diag, n int, a []float64, lda int, x []float64, incX int) {
+	if n < 0 || lda < max(1, n) {
+		panic(fmt.Sprintf("blas: Dtrsv bad dims n=%d lda=%d", n, lda))
+	}
+	if n == 0 {
+		return
+	}
+	if incX != 1 {
+		panic("blas: Dtrsv requires incX == 1")
+	}
+	switch {
+	case uplo == Lower && trans == NoTrans:
+		for i := 0; i < n; i++ {
+			sum := x[i]
+			for k := 0; k < i; k++ {
+				sum -= a[k*lda+i] * x[k]
+			}
+			if diag == NonUnit {
+				sum /= a[i*lda+i]
+			}
+			x[i] = sum
+		}
+	case uplo == Upper && trans == NoTrans:
+		for i := n - 1; i >= 0; i-- {
+			sum := x[i]
+			for k := i + 1; k < n; k++ {
+				sum -= a[k*lda+i] * x[k]
+			}
+			if diag == NonUnit {
+				sum /= a[i*lda+i]
+			}
+			x[i] = sum
+		}
+	case uplo == Lower && trans == Trans:
+		for i := n - 1; i >= 0; i-- {
+			sum := x[i]
+			for k := i + 1; k < n; k++ {
+				sum -= a[i*lda+k] * x[k]
+			}
+			if diag == NonUnit {
+				sum /= a[i*lda+i]
+			}
+			x[i] = sum
+		}
+	default: // Upper, Trans
+		for i := 0; i < n; i++ {
+			sum := x[i]
+			for k := 0; k < i; k++ {
+				sum -= a[i*lda+k] * x[k]
+			}
+			if diag == NonUnit {
+				sum /= a[i*lda+i]
+			}
+			x[i] = sum
+		}
+	}
+}
+
+// Dtrmv computes x = op(A)*x for a triangular n x n matrix A.
+func Dtrmv(uplo Uplo, trans Transpose, diag Diag, n int, a []float64, lda int, x []float64, incX int) {
+	if n < 0 || lda < max(1, n) {
+		panic(fmt.Sprintf("blas: Dtrmv bad dims n=%d lda=%d", n, lda))
+	}
+	if n == 0 {
+		return
+	}
+	if incX != 1 {
+		panic("blas: Dtrmv requires incX == 1")
+	}
+	switch {
+	case uplo == Upper && trans == NoTrans:
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			if diag == NonUnit {
+				sum = a[i*lda+i] * x[i]
+			} else {
+				sum = x[i]
+			}
+			for k := i + 1; k < n; k++ {
+				sum += a[k*lda+i] * x[k]
+			}
+			x[i] = sum
+		}
+	case uplo == Lower && trans == NoTrans:
+		for i := n - 1; i >= 0; i-- {
+			sum := 0.0
+			if diag == NonUnit {
+				sum = a[i*lda+i] * x[i]
+			} else {
+				sum = x[i]
+			}
+			for k := 0; k < i; k++ {
+				sum += a[k*lda+i] * x[k]
+			}
+			x[i] = sum
+		}
+	case uplo == Upper && trans == Trans:
+		for i := n - 1; i >= 0; i-- {
+			sum := 0.0
+			if diag == NonUnit {
+				sum = a[i*lda+i] * x[i]
+			} else {
+				sum = x[i]
+			}
+			for k := 0; k < i; k++ {
+				sum += a[i*lda+k] * x[k]
+			}
+			x[i] = sum
+		}
+	default: // Lower, Trans
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			if diag == NonUnit {
+				sum = a[i*lda+i] * x[i]
+			} else {
+				sum = x[i]
+			}
+			for k := i + 1; k < n; k++ {
+				sum += a[i*lda+k] * x[k]
+			}
+			x[i] = sum
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package blas
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+// triRef materializes the triangle op used by Dtrsv/Dtrmv for reference
+// computations.
+func triRef(uplo Uplo, diag Diag, a *matrix.Dense) *matrix.Dense {
+	n := a.Rows
+	tri := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if (uplo == Upper && j >= i) || (uplo == Lower && j <= i) {
+				tri.Set(i, j, a.At(i, j))
+			}
+		}
+		if diag == Unit {
+			tri.Set(i, i, 1)
+		}
+	}
+	return tri
+}
+
+func TestDtrsvAllVariants(t *testing.T) {
+	const n = 9
+	for _, uplo := range []Uplo{Upper, Lower} {
+		for _, trans := range []Transpose{NoTrans, Trans} {
+			for _, diag := range []Diag{NonUnit, Unit} {
+				a := matrix.Random(n, n, 71)
+				for i := 0; i < n; i++ {
+					a.Set(i, i, a.At(i, i)+4) // well conditioned
+				}
+				want := matrix.Random(n, 1, 72)
+				tri := triRef(uplo, diag, a)
+				// b = op(T) * want, then solve and compare.
+				b := Mul(trans, NoTrans, tri, want)
+				x := b.Col(0)
+				Dtrsv(uplo, trans, diag, n, a.Data, a.Stride, x, 1)
+				for i := 0; i < n; i++ {
+					if math.Abs(x[i]-want.At(i, 0)) > 1e-11 {
+						t.Fatalf("uplo=%v trans=%v diag=%v: x[%d]=%v want %v",
+							uplo, trans, diag, i, x[i], want.At(i, 0))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDtrmvAllVariants(t *testing.T) {
+	const n = 8
+	for _, uplo := range []Uplo{Upper, Lower} {
+		for _, trans := range []Transpose{NoTrans, Trans} {
+			for _, diag := range []Diag{NonUnit, Unit} {
+				a := matrix.Random(n, n, 73)
+				xv := matrix.Random(n, 1, 74)
+				tri := triRef(uplo, diag, a)
+				want := Mul(trans, NoTrans, tri, xv)
+				x := xv.Clone().Col(0)
+				Dtrmv(uplo, trans, diag, n, a.Data, a.Stride, x, 1)
+				for i := 0; i < n; i++ {
+					if math.Abs(x[i]-want.At(i, 0)) > 1e-12 {
+						t.Fatalf("uplo=%v trans=%v diag=%v: x[%d]=%v want %v",
+							uplo, trans, diag, i, x[i], want.At(i, 0))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDtrsvZeroSize(t *testing.T) {
+	// n == 0 must be a no-op, not a panic.
+	Dtrsv(Upper, NoTrans, NonUnit, 0, nil, 1, nil, 1)
+	Dtrmv(Lower, Trans, Unit, 0, nil, 1, nil, 1)
+}
+
+func TestDgemvStrided(t *testing.T) {
+	// incX = 2, incY = 3 paths.
+	const m, n = 4, 3
+	a := matrix.Random(m, n, 75)
+	x := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		x[2*i] = float64(i + 1)
+	}
+	y := make([]float64, 3*m)
+	Dgemv(NoTrans, m, n, 1, a.Data, a.Stride, x, 2, 0, y, 3)
+	for i := 0; i < m; i++ {
+		want := 0.0
+		for j := 0; j < n; j++ {
+			want += a.At(i, j) * float64(j+1)
+		}
+		if math.Abs(y[3*i]-want) > 1e-13 {
+			t.Fatalf("strided Dgemv y[%d] = %v want %v", i, y[3*i], want)
+		}
+	}
+}
+
+func TestDgemvBetaZeroClearsNaN(t *testing.T) {
+	a := matrix.Identity(3)
+	x := []float64{1, 2, 3}
+	y := []float64{math.NaN(), math.NaN(), math.NaN()}
+	Dgemv(NoTrans, 3, 3, 1, a.Data, a.Stride, x, 1, 0, y, 1)
+	for i, want := range x {
+		if y[i] != want {
+			t.Fatalf("y = %v", y)
+		}
+	}
+}
+
+func TestDgerZeroAlphaNoop(t *testing.T) {
+	a := matrix.Random(3, 3, 76)
+	saved := a.Clone()
+	Dger(3, 3, 0, []float64{1, 2, 3}, 1, []float64{4, 5, 6}, 1, a.Data, a.Stride)
+	if !a.Equal(saved) {
+		t.Fatal("alpha=0 Dger changed A")
+	}
+}
+
+// Property: Dtrsv then Dtrmv (same triangle) is the identity.
+func TestTrsvTrmvInverseProperty(t *testing.T) {
+	f := func(seed int64, flags uint8) bool {
+		n := 3 + int(uint64(seed)%10)
+		uplo := Uplo(int(flags) % 2)
+		trans := Transpose(flags&2 != 0)
+		diag := Diag(int(flags/4) % 2)
+		a := matrix.Random(n, n, seed)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+3)
+		}
+		x := matrix.Random(n, 1, seed+1)
+		orig := x.Clone()
+		Dtrmv(uplo, trans, diag, n, a.Data, a.Stride, x.Col(0), 1)
+		Dtrsv(uplo, trans, diag, n, a.Data, a.Stride, x.Col(0), 1)
+		return x.EqualApprox(orig, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

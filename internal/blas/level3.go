@@ -1,0 +1,427 @@
+package blas
+
+import "fmt"
+
+// Blocking parameters for the cache-blocked Dgemm. These are modest,
+// conservative values: kc*mc doubles of the A-panel fit comfortably in L2 on
+// any machine this code targets, and the 4-wide register kernel keeps the
+// inner loop simple enough for the Go compiler to keep in registers.
+const (
+	gemmMC = 128 // rows of A per blocked panel
+	gemmKC = 256 // depth of the rank-kc update
+	gemmNR = 4   // columns of C per register tile
+)
+
+// Dgemm computes C = alpha*op(A)*op(B) + beta*C where op(A) is m x k and
+// op(B) is k x n. All matrices are column-major with leading dimensions
+// lda, ldb, ldc.
+func Dgemm(transA, transB Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	rowA, rowB := m, k
+	if transA == Trans {
+		rowA = k
+	}
+	if transB == Trans {
+		rowB = n
+	}
+	if m < 0 || n < 0 || k < 0 || lda < max(1, rowA) || ldb < max(1, rowB) || ldc < max(1, m) {
+		panic(fmt.Sprintf("blas: Dgemm bad dims m=%d n=%d k=%d lda=%d ldb=%d ldc=%d", m, n, k, lda, ldb, ldc))
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	// Scale C by beta first; the kernels below only accumulate.
+	if beta != 1 {
+		for j := 0; j < n; j++ {
+			col := c[j*ldc : j*ldc+m]
+			if beta == 0 {
+				for i := range col {
+					col[i] = 0
+				}
+			} else {
+				for i := range col {
+					col[i] *= beta
+				}
+			}
+		}
+	}
+	if k == 0 || alpha == 0 {
+		return
+	}
+	if transA == NoTrans && transB == NoTrans {
+		gemmNN(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
+	if transA == Trans && transB == NoTrans {
+		gemmTN(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
+	if transA == NoTrans && transB == Trans {
+		gemmNT(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
+	gemmTT(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+}
+
+// gemmNN accumulates C += alpha*A*B using cache blocking over k and m and a
+// 1x4 column register tile. This is the kernel on the critical path of every
+// trailing-matrix update, so it gets the most care.
+func gemmNN(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for kk := 0; kk < k; kk += gemmKC {
+		kb := min(gemmKC, k-kk)
+		for ii := 0; ii < m; ii += gemmMC {
+			ib := min(gemmMC, m-ii)
+			// C[ii:ii+ib, :] += alpha * A[ii:ii+ib, kk:kk+kb] * B[kk:kk+kb, :]
+			j := 0
+			for ; j+gemmNR <= n; j += gemmNR {
+				c0 := c[(j+0)*ldc+ii : (j+0)*ldc+ii+ib]
+				c1 := c[(j+1)*ldc+ii : (j+1)*ldc+ii+ib]
+				c2 := c[(j+2)*ldc+ii : (j+2)*ldc+ii+ib]
+				c3 := c[(j+3)*ldc+ii : (j+3)*ldc+ii+ib]
+				for p := 0; p < kb; p++ {
+					acol := a[(kk+p)*lda+ii : (kk+p)*lda+ii+ib]
+					b0 := alpha * b[(j+0)*ldb+kk+p]
+					b1 := alpha * b[(j+1)*ldb+kk+p]
+					b2 := alpha * b[(j+2)*ldb+kk+p]
+					b3 := alpha * b[(j+3)*ldb+kk+p]
+					for i, av := range acol {
+						c0[i] += av * b0
+						c1[i] += av * b1
+						c2[i] += av * b2
+						c3[i] += av * b3
+					}
+				}
+			}
+			for ; j < n; j++ {
+				ccol := c[j*ldc+ii : j*ldc+ii+ib]
+				for p := 0; p < kb; p++ {
+					bv := alpha * b[j*ldb+kk+p]
+					if bv == 0 {
+						continue
+					}
+					acol := a[(kk+p)*lda+ii : (kk+p)*lda+ii+ib]
+					for i, av := range acol {
+						ccol[i] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// gemmTN accumulates C += alpha*A^T*B: C(i,j) = dot(A(:,i), B(:,j)).
+func gemmTN(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for j := 0; j < n; j++ {
+		bcol := b[j*ldb : j*ldb+k]
+		ccol := c[j*ldc : j*ldc+m]
+		for i := 0; i < m; i++ {
+			acol := a[i*lda : i*lda+k]
+			sum := 0.0
+			for p, av := range acol {
+				sum += av * bcol[p]
+			}
+			ccol[i] += alpha * sum
+		}
+	}
+}
+
+// gemmNT accumulates C += alpha*A*B^T.
+func gemmNT(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for p := 0; p < k; p++ {
+		acol := a[p*lda : p*lda+m]
+		for j := 0; j < n; j++ {
+			bv := alpha * b[p*ldb+j]
+			if bv == 0 {
+				continue
+			}
+			ccol := c[j*ldc : j*ldc+m]
+			for i, av := range acol {
+				ccol[i] += av * bv
+			}
+		}
+	}
+}
+
+// gemmTT accumulates C += alpha*A^T*B^T.
+func gemmTT(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for j := 0; j < n; j++ {
+		ccol := c[j*ldc : j*ldc+m]
+		for i := 0; i < m; i++ {
+			acol := a[i*lda : i*lda+k]
+			sum := 0.0
+			for p, av := range acol {
+				sum += av * b[p*ldb+j]
+			}
+			ccol[i] += alpha * sum
+		}
+	}
+}
+
+// Dtrsm solves op(A)*X = alpha*B (side == Left) or X*op(A) = alpha*B
+// (side == Right) for X, overwriting B. A is triangular.
+func Dtrsm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	na := m
+	if side == Right {
+		na = n
+	}
+	if m < 0 || n < 0 || lda < max(1, na) || ldb < max(1, m) {
+		panic(fmt.Sprintf("blas: Dtrsm bad dims m=%d n=%d lda=%d ldb=%d", m, n, lda, ldb))
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if alpha != 1 {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			for i := range col {
+				col[i] *= alpha
+			}
+		}
+	}
+	if side == Left {
+		// Solve op(A) * X = B column by column.
+		for j := 0; j < n; j++ {
+			Dtrsv(uplo, trans, diag, m, a, lda, b[j*ldb:j*ldb+m], 1)
+		}
+		return
+	}
+	// side == Right: X * op(A) = B. Process columns of X in dependency order.
+	switch {
+	case uplo == Upper && trans == NoTrans:
+		// X(:,j) = (B(:,j) - sum_{k<j} X(:,k) A(k,j)) / A(j,j)
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			for k := 0; k < j; k++ {
+				akj := a[j*lda+k]
+				if akj == 0 {
+					continue
+				}
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] -= akj * bk[i]
+				}
+			}
+			if diag == NonUnit {
+				inv := 1 / a[j*lda+j]
+				for i := range bj {
+					bj[i] *= inv
+				}
+			}
+		}
+	case uplo == Lower && trans == NoTrans:
+		for j := n - 1; j >= 0; j-- {
+			bj := b[j*ldb : j*ldb+m]
+			for k := j + 1; k < n; k++ {
+				akj := a[j*lda+k]
+				if akj == 0 {
+					continue
+				}
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] -= akj * bk[i]
+				}
+			}
+			if diag == NonUnit {
+				inv := 1 / a[j*lda+j]
+				for i := range bj {
+					bj[i] *= inv
+				}
+			}
+		}
+	case uplo == Upper && trans == Trans:
+		// X * A^T = B with A upper => effective coefficient A(j,k) for k>j.
+		for j := n - 1; j >= 0; j-- {
+			bj := b[j*ldb : j*ldb+m]
+			for k := j + 1; k < n; k++ {
+				ajk := a[k*lda+j]
+				if ajk == 0 {
+					continue
+				}
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] -= ajk * bk[i]
+				}
+			}
+			if diag == NonUnit {
+				inv := 1 / a[j*lda+j]
+				for i := range bj {
+					bj[i] *= inv
+				}
+			}
+		}
+	default: // Lower, Trans
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			for k := 0; k < j; k++ {
+				ajk := a[k*lda+j]
+				if ajk == 0 {
+					continue
+				}
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] -= ajk * bk[i]
+				}
+			}
+			if diag == NonUnit {
+				inv := 1 / a[j*lda+j]
+				for i := range bj {
+					bj[i] *= inv
+				}
+			}
+		}
+	}
+}
+
+// Dtrmm computes B = alpha*op(A)*B (side == Left) or B = alpha*B*op(A)
+// (side == Right) for triangular A, overwriting B.
+func Dtrmm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	na := m
+	if side == Right {
+		na = n
+	}
+	if m < 0 || n < 0 || lda < max(1, na) || ldb < max(1, m) {
+		panic(fmt.Sprintf("blas: Dtrmm bad dims m=%d n=%d lda=%d ldb=%d", m, n, lda, ldb))
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if side == Left {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			Dtrmv(uplo, trans, diag, m, a, lda, col, 1)
+			if alpha != 1 {
+				for i := range col {
+					col[i] *= alpha
+				}
+			}
+		}
+		return
+	}
+	// side == Right: B = alpha * B * op(A).
+	switch {
+	case uplo == Upper && trans == NoTrans:
+		for j := n - 1; j >= 0; j-- {
+			bj := b[j*ldb : j*ldb+m]
+			diagV := 1.0
+			if diag == NonUnit {
+				diagV = a[j*lda+j]
+			}
+			for i := range bj {
+				bj[i] *= alpha * diagV
+			}
+			for k := 0; k < j; k++ {
+				akj := alpha * a[j*lda+k]
+				if akj == 0 {
+					continue
+				}
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] += akj * bk[i]
+				}
+			}
+		}
+	case uplo == Lower && trans == NoTrans:
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			diagV := 1.0
+			if diag == NonUnit {
+				diagV = a[j*lda+j]
+			}
+			for i := range bj {
+				bj[i] *= alpha * diagV
+			}
+			for k := j + 1; k < n; k++ {
+				akj := alpha * a[j*lda+k]
+				if akj == 0 {
+					continue
+				}
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] += akj * bk[i]
+				}
+			}
+		}
+	case uplo == Upper && trans == Trans:
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			diagV := 1.0
+			if diag == NonUnit {
+				diagV = a[j*lda+j]
+			}
+			for i := range bj {
+				bj[i] *= alpha * diagV
+			}
+			for k := j + 1; k < n; k++ {
+				ajk := alpha * a[k*lda+j]
+				if ajk == 0 {
+					continue
+				}
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] += ajk * bk[i]
+				}
+			}
+		}
+	default: // Lower, Trans
+		for j := n - 1; j >= 0; j-- {
+			bj := b[j*ldb : j*ldb+m]
+			diagV := 1.0
+			if diag == NonUnit {
+				diagV = a[j*lda+j]
+			}
+			for i := range bj {
+				bj[i] *= alpha * diagV
+			}
+			for k := 0; k < j; k++ {
+				ajk := alpha * a[k*lda+j]
+				if ajk == 0 {
+					continue
+				}
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] += ajk * bk[i]
+				}
+			}
+		}
+	}
+}
+
+// Dsyrk computes C = alpha*A*A^T + beta*C (trans == NoTrans, A is n x k) or
+// C = alpha*A^T*A + beta*C (trans == Trans, A is k x n), updating only the
+// uplo triangle of the symmetric n x n matrix C.
+func Dsyrk(uplo Uplo, trans Transpose, n, k int, alpha float64, a []float64, lda int, beta float64, c []float64, ldc int) {
+	rowA := n
+	if trans == Trans {
+		rowA = k
+	}
+	if n < 0 || k < 0 || lda < max(1, rowA) || ldc < max(1, n) {
+		panic(fmt.Sprintf("blas: Dsyrk bad dims n=%d k=%d lda=%d ldc=%d", n, k, lda, ldc))
+	}
+	if n == 0 {
+		return
+	}
+	for j := 0; j < n; j++ {
+		lo, hi := 0, j+1
+		if uplo == Lower {
+			lo, hi = j, n
+		}
+		for i := lo; i < hi; i++ {
+			sum := 0.0
+			if trans == NoTrans {
+				for p := 0; p < k; p++ {
+					sum += a[p*lda+i] * a[p*lda+j]
+				}
+			} else {
+				ai := a[i*lda : i*lda+k]
+				aj := a[j*lda : j*lda+k]
+				for p := range ai {
+					sum += ai[p] * aj[p]
+				}
+			}
+			if beta == 0 {
+				c[j*ldc+i] = alpha * sum
+			} else {
+				c[j*ldc+i] = alpha*sum + beta*c[j*ldc+i]
+			}
+		}
+	}
+}

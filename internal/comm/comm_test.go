@@ -1,0 +1,119 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/tslu"
+)
+
+func TestPanelSyncsFormulas(t *testing.T) {
+	// The headline claim: O(log Tr) vs b synchronizations per panel.
+	cases := []struct {
+		b, tr   int
+		tree    tslu.Tree
+		classic bool
+		want    int
+	}{
+		{100, 8, tslu.Binary, true, 100}, // classic GEPP: one per column
+		{100, 8, tslu.Binary, false, 3},  // log2(8)
+		{100, 16, tslu.Binary, false, 4},
+		{100, 8, tslu.Flat, false, 1},    // single merge round
+		{100, 16, tslu.Hybrid, false, 3}, // 1 flat + log2(4)
+		{100, 1, tslu.Binary, false, 0},  // single thread: no syncs
+		{100, 1, tslu.Binary, true, 0},
+	}
+	for _, c := range cases {
+		if got := PanelSyncs(c.b, c.tr, c.tree, c.classic); got != c.want {
+			t.Errorf("PanelSyncs(b=%d, tr=%d, %v, classic=%v) = %d want %d",
+				c.b, c.tr, c.tree, c.classic, got, c.want)
+		}
+	}
+}
+
+func TestFactorSyncsScalesWithPanels(t *testing.T) {
+	// 10 panels of width 100: CALU needs 30 syncs, classic needs 1000.
+	ca := FactorSyncs(100000, 1000, 100, 8, tslu.Binary, false)
+	classic := FactorSyncs(100000, 1000, 100, 8, tslu.Binary, true)
+	if ca != 30 {
+		t.Errorf("CALU syncs = %d want 30", ca)
+	}
+	if classic != 1000 {
+		t.Errorf("classic syncs = %d want 1000", classic)
+	}
+	if classic/ca < 30 {
+		t.Errorf("sync reduction factor only %d", classic/ca)
+	}
+}
+
+func TestAnalyzeCALUVsVendor(t *testing.T) {
+	// On a tall-skinny matrix, CALU's critical path (in flops) must be far
+	// shorter than the fork-join vendor model's, because the panel is
+	// parallelized.
+	m, n := 100000, 200
+	calu := Analyze(core.BuildCALUGraph(m, n, core.Options{
+		BlockSize: 100, PanelThreads: 8, Lookahead: true,
+	}))
+	vendor := Analyze(baseline.BuildGETRFGraph(m, n, 64, 8))
+	if calu.SpanFlops >= vendor.SpanFlops {
+		t.Errorf("CALU span %g not below vendor span %g", calu.SpanFlops, vendor.SpanFlops)
+	}
+	if calu.MaxParallelism <= vendor.MaxParallelism {
+		t.Errorf("CALU parallelism %g not above vendor %g", calu.MaxParallelism, vendor.MaxParallelism)
+	}
+	if calu.Tasks <= vendor.Tasks {
+		t.Errorf("CALU should have more (finer) tasks: %d vs %d", calu.Tasks, vendor.Tasks)
+	}
+}
+
+func TestAnalyzeTrImprovesSpan(t *testing.T) {
+	// Increasing Tr shortens the panel critical path on tall-skinny shapes.
+	span := func(tr int) float64 {
+		g := core.BuildCALUGraph(1000000, 100, core.Options{
+			BlockSize: 100, PanelThreads: tr, Lookahead: true,
+		})
+		return Analyze(g).SpanFlops
+	}
+	s1, s4, s8 := span(1), span(4), span(8)
+	if !(s8 < s4 && s4 < s1) {
+		t.Errorf("span not decreasing with Tr: %g %g %g", s1, s4, s8)
+	}
+	// With a binary tree the span shrinks roughly like 1/Tr plus the
+	// logarithmic merge chain; demand at least 3x from Tr=1 to Tr=8.
+	if s1/s8 < 3 {
+		t.Errorf("Tr=8 span reduction only %.2fx", s1/s8)
+	}
+}
+
+func TestVolumes(t *testing.T) {
+	// Tournament volume: binary over 8 leaves moves 7 candidate blocks.
+	v := TSLUVolume(100000, 100, 8, tslu.Binary)
+	if v != 7*100*100 {
+		t.Errorf("binary volume = %g", v)
+	}
+	// Flat: same count of moved blocks (7 of 8 move to one place).
+	if f := TSLUVolume(100000, 100, 8, tslu.Flat); f != v {
+		t.Errorf("flat volume = %g want %g", f, v)
+	}
+	// Classic panel: b columns x (tr + tr*b) words; for b=100, tr=8 that
+	// is 80800 words vs the tournament's 70000 — same order, but paid in
+	// b synchronized rounds instead of log2(tr).
+	c := ClassicPanelVolume(100000, 100, 8)
+	if c != 100*(8+800) {
+		t.Errorf("classic volume = %g", c)
+	}
+	if TSLUVolume(100000, 100, 1, tslu.Binary) != 0 || ClassicPanelVolume(1, 1, 1) != 0 {
+		t.Error("single-thread volumes must be zero")
+	}
+}
+
+func TestSpeedupBound(t *testing.T) {
+	m := Metrics{WorkFlops: 100, SpanFlops: 10, MaxParallelism: 10}
+	if s := SpeedupBound(m, 4); s != 4 {
+		t.Errorf("bound %g want 4 (core limited)", s)
+	}
+	if s := SpeedupBound(m, 64); s != 10 {
+		t.Errorf("bound %g want 10 (span limited)", s)
+	}
+}

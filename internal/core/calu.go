@@ -1,0 +1,479 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/blas"
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/tslu"
+)
+
+// LUResult is the outcome of a CALU factorization.
+type LUResult struct {
+	// A holds the in-place factors: L unit lower (below the diagonal) and
+	// U upper, with row interchanges already applied (so P*Aorig = L*U).
+	A *matrix.Dense
+	// Swaps holds one swap list per iteration, with absolute row indices;
+	// iteration K's list starts at row K*b. Together they define P.
+	Swaps [][]int
+	// Events is the execution trace, non-nil only when Options.Trace is set.
+	Events []sched.Event
+	// Graph is the executed task graph (retained for inspection).
+	Graph *sched.Graph
+}
+
+// ApplyPerm applies the factorization's full row permutation P to b
+// (b := P*b), as needed to solve A x = y via L U x = P y.
+func (r *LUResult) ApplyPerm(b *matrix.Dense) {
+	for k, sw := range r.Swaps {
+		tslu.ApplyPivots(b, sw, r.swapOrigin(k))
+	}
+}
+
+// swapOrigin returns the row at which iteration k's swaps anchor.
+func (r *LUResult) swapOrigin(k int) int {
+	at := 0
+	for i := 0; i < k; i++ {
+		at += len(r.Swaps[i])
+	}
+	return at
+}
+
+// Solve solves A*x = rhs for square factored A, overwriting rhs with x.
+func (r *LUResult) Solve(rhs *matrix.Dense) {
+	if r.A.Rows != r.A.Cols {
+		panic(fmt.Sprintf("core: Solve needs square matrix, got %dx%d", r.A.Rows, r.A.Cols))
+	}
+	r.ApplyPerm(rhs)
+	blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, r.A, rhs)
+	blas.Trsm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, 1, r.A, rhs)
+}
+
+// CALU computes the communication-avoiding LU factorization with tournament
+// pivoting of the m x n matrix a, in place, using the multithreaded
+// Algorithm 1 of the paper: dynamic scheduling of P/L/U/S tasks with
+// look-ahead priorities. It returns ErrSingular (wrapped) if a panel is rank
+// deficient.
+//
+// Wide matrices (m < n) are handled LAPACK-style: the leading m x m block
+// is factored, and the remaining columns are overwritten with
+// U(:, m:) = L^{-1} P A(:, m:).
+func CALU(a *matrix.Dense, opt Options) (*LUResult, error) {
+	if a.Rows < a.Cols {
+		left := a.View(0, 0, a.Rows, a.Rows)
+		res, err := CALU(left, opt)
+		res.A = a
+		right := a.View(0, a.Rows, a.Rows, a.Cols-a.Rows)
+		for k, sw := range res.Swaps {
+			tslu.ApplyPivots(right, sw, res.swapOrigin(k))
+		}
+		blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, left, right)
+		return res, err
+	}
+	opt.normalize(a.Rows, a.Cols)
+	res := &LUResult{A: a}
+	b := newCALUBuilder(a.Rows, a.Cols, &opt)
+	b.bind(a, res)
+	b.build()
+	res.Events = runGraph(b.g, &opt)
+	res.Graph = b.g
+	res.Swaps = b.swaps
+	// Deferred application of row interchanges to the L blocks left of each
+	// panel (Algorithm 1 line 41).
+	for k := 1; k < len(b.swaps); k++ {
+		left := a.View(0, 0, a.Rows, k*opt.BlockSize)
+		tslu.ApplyPivots(left, b.swaps[k], k*opt.BlockSize)
+	}
+	for _, err := range b.errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// BuildCALUGraph constructs the CALU task graph for an m x n matrix without
+// binding numeric work: tasks carry only flop counts, kernel classes and
+// priorities. Package simsched executes such graphs in virtual time for the
+// paper-scale modeled experiments.
+func BuildCALUGraph(m, n int, opt Options) *sched.Graph {
+	opt.normalize(m, n)
+	b := newCALUBuilder(m, n, &opt)
+	b.build()
+	return b.g
+}
+
+// caluBuilder holds graph-construction state for one CALU factorization.
+type caluBuilder struct {
+	g      *sched.Graph
+	opt    *Options
+	m, n   int
+	nb     int // number of block columns
+	fronts []frontier
+
+	// Binding state; nil for graph-only builds.
+	a     *matrix.Dense
+	res   *LUResult
+	swaps [][]int
+	errs  []error
+}
+
+func newCALUBuilder(m, n int, opt *Options) *caluBuilder {
+	nb := (n + opt.BlockSize - 1) / opt.BlockSize
+	return &caluBuilder{
+		g:      sched.NewGraph(),
+		opt:    opt,
+		m:      m,
+		n:      n,
+		nb:     nb,
+		fronts: make([]frontier, nb),
+		swaps:  make([][]int, nb),
+		errs:   make([]error, nb),
+	}
+}
+
+func (b *caluBuilder) bind(a *matrix.Dense, res *LUResult) {
+	b.a = a
+	b.res = res
+}
+
+// dep adds deduplicated dependencies from each task in pres to t.
+func (b *caluBuilder) dep(t *sched.Task, pres ...*sched.Task) {
+	seen := make(map[int]bool, len(pres))
+	for _, p := range pres {
+		if p == nil || seen[p.ID] {
+			continue
+		}
+		seen[p.ID] = true
+		b.g.AddDep(p, t)
+	}
+}
+
+// colRange returns the column range [c0, c1) of block column j.
+func (b *caluBuilder) colRange(j int) (int, int) {
+	c0 := j * b.opt.BlockSize
+	return c0, min(b.n, c0+b.opt.BlockSize)
+}
+
+func (b *caluBuilder) build() {
+	for k := 0; k < b.nb; k++ {
+		b.buildIteration(k)
+	}
+}
+
+func (b *caluBuilder) buildIteration(k int) {
+	opt := b.opt
+	r0, _ := b.colRange(k)
+	c0, c1 := b.colRange(k)
+	w := c1 - c0
+	mr := b.m - r0 // active rows
+
+	// --- Panel preprocessing: tournament over Tr block rows (tasks P). ---
+	blocks := tslu.Partition(mr, opt.PanelThreads)
+	nLeaves := len(blocks)
+	// Candidate slots: leaves first, merge results appended after.
+	var cands []*tslu.Candidates
+	if b.a != nil {
+		cands = make([]*tslu.Candidates, nLeaves, 2*nLeaves)
+	}
+
+	leafTasks := make([]*sched.Task, nLeaves)
+	leafK := make([]int, nLeaves) // candidate row counts per slot
+	for i, blk := range blocks {
+		i := i
+		lo, hi := r0+blk[0], r0+blk[1]
+		rows := hi - lo
+		kk := min(rows, w)
+		leafK[i] = kk
+		t := &sched.Task{
+			Label:    fmt.Sprintf("P k=%d leaf=%d", k, i),
+			Kind:     sched.KindP,
+			Priority: priority(opt, b.nb, k, k, bonusP),
+			Flops:    luFlops(rows, w),
+			Class:    sched.ClassRecursive,
+			Rows:     rows,
+		}
+		if b.a != nil {
+			block := b.a.View(lo, c0, rows, w)
+			t.Run = func() { cands[i] = tslu.Leaf(block, lo) }
+		}
+		b.g.Add(t)
+		b.dep(t, b.fronts[k].read(lo, hi)...)
+		leafTasks[i] = t
+	}
+
+	// Reduction tree (tasks P at inner nodes). The merge schedule comes
+	// from tslu.PlanReduction, so binary, flat and hybrid trees all flow
+	// through the same task construction.
+	type nodeRef struct {
+		task *sched.Task
+		slot int // index into cands
+		k    int // candidate rows
+	}
+	nodes := make([]nodeRef, nLeaves)
+	for i := range leafTasks {
+		nodes[i] = nodeRef{task: leafTasks[i], slot: i, k: leafK[i]}
+	}
+	for _, st := range tslu.PlanReduction(nLeaves, opt.Tree) {
+		total := 0
+		deps := make([]*sched.Task, len(st.In))
+		ins := make([]int, len(st.In))
+		for i, idx := range st.In {
+			total += nodes[idx].k
+			deps[i] = nodes[idx].task
+			ins[i] = nodes[idx].slot
+		}
+		slot := -1
+		if b.a != nil {
+			cands = append(cands, nil)
+			slot = len(cands) - 1
+		}
+		t := &sched.Task{
+			Label:    fmt.Sprintf("P k=%d merge out=%d", k, st.Out),
+			Kind:     sched.KindP,
+			Priority: priority(opt, b.nb, k, k, bonusP),
+			Flops:    luFlops(total, w),
+			Class:    sched.ClassRecursive,
+			Rows:     total,
+		}
+		if b.a != nil {
+			t.Run = func() {
+				cs := make([]*tslu.Candidates, len(ins))
+				for i, s := range ins {
+					cs[i] = cands[s]
+				}
+				cands[slot] = tslu.MergeMany(cs)
+			}
+		}
+		b.g.Add(t)
+		b.dep(t, deps...)
+		nodes = append(nodes, nodeRef{task: t, slot: slot, k: min(total, w)})
+	}
+	rootRef := nodes[len(nodes)-1]
+
+	// --- Finalize: build swaps, pivot the panel, write the composite. ---
+	fin := &sched.Task{
+		Label:    fmt.Sprintf("F k=%d", k),
+		Kind:     sched.KindP,
+		Priority: priority(opt, b.nb, k, k, bonusFinalize),
+		Flops:    float64(w * w), // swap bookkeeping + composite copy
+		Class:    sched.ClassSmall,
+	}
+	if b.a != nil {
+		rootSlot := rootRef.slot
+		t := fin
+		t.Run = func() {
+			root := cands[rootSlot]
+			sw := tslu.BuildSwaps(root.Idx, r0)
+			b.swaps[k] = sw
+			colView := b.a.View(0, c0, b.m, w)
+			tslu.ApplyPivots(colView, sw, r0)
+			kk := root.Fac.Rows
+			colView.View(r0, 0, kk, w).CopyFrom(root.Fac)
+			if kk < min(mr, w) {
+				b.errs[k] = tslu.ErrSingular
+				return
+			}
+			for i := 0; i < min(kk, w); i++ {
+				if root.Fac.At(i, i) == 0 {
+					b.errs[k] = tslu.ErrSingular
+					return
+				}
+			}
+		}
+	}
+	b.g.Add(fin)
+	b.dep(fin, rootRef.task)
+	b.dep(fin, b.fronts[k].write(r0, b.m, fin)...)
+
+	// --- Tasks L: remaining rows of the panel's L factor. ---
+	lRows0 := r0 + w
+	var lBlocks [][2]int
+	if lRows0 < b.m {
+		lBlocks = tslu.Partition(b.m-lRows0, opt.PanelThreads)
+	}
+	lTasks := make([]*sched.Task, len(lBlocks))
+	for i, blk := range lBlocks {
+		lo, hi := lRows0+blk[0], lRows0+blk[1]
+		rows := hi - lo
+		t := &sched.Task{
+			Label:    fmt.Sprintf("L k=%d i=%d", k, i),
+			Kind:     sched.KindL,
+			Priority: priority(opt, b.nb, k, k, bonusL),
+			Flops:    float64(rows) * float64(w) * float64(w),
+			Class:    sched.ClassBLAS3,
+		}
+		if b.a != nil {
+			t.Run = func() {
+				ukk := b.a.View(r0, c0, w, w)
+				lblk := b.a.View(lo, c0, rows, w)
+				blas.Trsm(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, 1, ukk, lblk)
+			}
+		}
+		b.g.Add(t)
+		b.dep(t, b.fronts[k].write(lo, hi, t)...)
+		lTasks[i] = t
+	}
+
+	// --- Tasks U and S over the trailing block columns. ---
+	for j0 := k + 1; j0 < b.nb; j0 += opt.ColsPerTask {
+		j1 := min(b.nb, j0+opt.ColsPerTask)
+		gc0, _ := b.colRange(j0)
+		_, gc1 := b.colRange(j1 - 1)
+		gw := gc1 - gc0
+
+		u := &sched.Task{
+			Label:    fmt.Sprintf("U k=%d j=%d", k, j0),
+			Kind:     sched.KindU,
+			Priority: priority(opt, b.nb, k, j0, bonusU),
+			Flops:    float64(w) * float64(w) * float64(gw),
+			Class:    sched.ClassBLAS3,
+		}
+		if b.a != nil {
+			t := u
+			t.Run = func() {
+				colView := b.a.View(0, gc0, b.m, gw)
+				tslu.ApplyPivots(colView, b.swaps[k], r0)
+				lkk := b.a.View(r0, c0, w, w)
+				ukj := b.a.View(r0, gc0, w, gw)
+				blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, lkk, ukj)
+			}
+		}
+		b.g.Add(u)
+		b.dep(u, fin)
+		for j := j0; j < j1; j++ {
+			b.dep(u, b.fronts[j].write(r0, b.m, u)...)
+		}
+
+		for i, blk := range lBlocks {
+			lo, hi := lRows0+blk[0], lRows0+blk[1]
+			rows := hi - lo
+			s := &sched.Task{
+				Label:    fmt.Sprintf("S k=%d i=%d j=%d", k, i, j0),
+				Kind:     sched.KindS,
+				Priority: priority(opt, b.nb, k, j0, bonusS),
+				Flops:    2 * float64(rows) * float64(w) * float64(gw),
+				Class:    sched.ClassBLAS3,
+			}
+			if b.a != nil {
+				t := s
+				t.Run = func() {
+					lik := b.a.View(lo, c0, rows, w)
+					ukj := b.a.View(r0, gc0, w, gw)
+					aij := b.a.View(lo, gc0, rows, gw)
+					blas.Gemm(blas.NoTrans, blas.NoTrans, -1, lik, ukj, 1, aij)
+				}
+			}
+			b.g.Add(s)
+			b.dep(s, u, lTasks[i])
+			for j := j0; j < j1; j++ {
+				b.dep(s, b.fronts[j].write(lo, hi, s)...)
+			}
+		}
+	}
+}
+
+// luFlops is the canonical GEPP flop count for an r x c block, r >= 0.
+func luFlops(r, c int) float64 {
+	fr, fc := float64(r), float64(c)
+	return fr*fc*fc - fc*fc*fc/3
+}
+
+// ApplyPermInverse applies P^T (the inverse row permutation) to b,
+// reversing ApplyPerm.
+func (r *LUResult) ApplyPermInverse(b *matrix.Dense) {
+	for k := len(r.Swaps) - 1; k >= 0; k-- {
+		tslu.UndoPivots(b, r.Swaps[k], r.swapOrigin(k))
+	}
+}
+
+// SolveTranspose solves A^T * x = rhs for square factored A, overwriting
+// rhs with x: with P A = L U, A^T = U^T L^T P, so x = P^T (L^T)^-1 (U^T)^-1 rhs.
+func (r *LUResult) SolveTranspose(rhs *matrix.Dense) {
+	if r.A.Rows != r.A.Cols {
+		panic(fmt.Sprintf("core: SolveTranspose needs square matrix, got %dx%d", r.A.Rows, r.A.Cols))
+	}
+	blas.Trsm(blas.Left, blas.Upper, blas.Trans, blas.NonUnit, 1, r.A, rhs)
+	blas.Trsm(blas.Left, blas.Lower, blas.Trans, blas.Unit, 1, r.A, rhs)
+	r.ApplyPermInverse(rhs)
+}
+
+// RCond estimates the reciprocal 1-norm condition number of the factored
+// matrix given the 1-norm of the original (unfactored) matrix, via Hager's
+// estimator on the implicit inverse. Returns 0 for a singular factor.
+func (r *LUResult) RCond(anorm float64) float64 {
+	n := r.A.Rows
+	if n != r.A.Cols {
+		panic("core: RCond needs square matrix")
+	}
+	for i := 0; i < n; i++ {
+		if r.A.At(i, i) == 0 {
+			return 0
+		}
+	}
+	if anorm == 0 {
+		return 0
+	}
+	buf := matrix.New(n, 1)
+	invNorm := lapack.OneNormEst(n,
+		func(x []float64) {
+			copy(buf.Col(0), x)
+			r.Solve(buf)
+			copy(x, buf.Col(0))
+		},
+		func(x []float64) {
+			copy(buf.Col(0), x)
+			r.SolveTranspose(buf)
+			copy(x, buf.Col(0))
+		})
+	if invNorm <= 0 {
+		return 0
+	}
+	return 1 / (anorm * invNorm)
+}
+
+// SolveRefined solves A*x = rhs with iterative refinement: orig must be the
+// original (unfactored) matrix. rhs is overwritten with the refined
+// solution; the returned value is the final correction's max-norm, a cheap
+// convergence indicator.
+func (r *LUResult) SolveRefined(orig *matrix.Dense, rhs *matrix.Dense, iters int) float64 {
+	if orig.Rows != r.A.Rows || orig.Cols != r.A.Cols {
+		panic("core: SolveRefined original matrix has wrong shape")
+	}
+	b := rhs.Clone()
+	r.Solve(rhs) // rhs now holds x0
+	last := 0.0
+	for it := 0; it < iters; it++ {
+		// residual = b - A x
+		resid := b.Clone()
+		blas.Gemm(blas.NoTrans, blas.NoTrans, -1, orig, rhs, 1, resid)
+		r.Solve(resid)
+		for j := 0; j < rhs.Cols; j++ {
+			x, d := rhs.Col(j), resid.Col(j)
+			for i := range x {
+				x[i] += d[i]
+			}
+		}
+		last = resid.MaxAbs()
+	}
+	return last
+}
+
+// Inverse computes A^{-1} from the factorization by solving A X = I. For
+// most uses prefer Solve: forming the inverse costs an extra n^3 flops and
+// is less accurate.
+func (r *LUResult) Inverse() *matrix.Dense {
+	n := r.A.Rows
+	if n != r.A.Cols {
+		panic("core: Inverse needs square matrix")
+	}
+	inv := matrix.Identity(n)
+	const nb = 32
+	for j := 0; j < n; j += nb {
+		jb := min(nb, n-j)
+		r.Solve(inv.View(0, j, n, jb))
+	}
+	return inv
+}

@@ -1,0 +1,192 @@
+// Package core implements the paper's contribution: multithreaded
+// communication-avoiding LU (CALU, Algorithm 1) and QR (CAQR, Algorithm 2)
+// factorizations for multicore architectures.
+//
+// Both algorithms traverse the matrix by block columns of width b. The
+// panel factorization is a TSLU/TSQR reduction over Tr block rows, and all
+// work — tournament/tree nodes (task P), panel L blocks (task L), pivoting
+// plus U rows (task U) and trailing-matrix updates (task S) — is expressed
+// as a task dependency graph executed by the dynamic priority scheduler in
+// package sched. Priorities realize the paper's look-ahead-of-1: tasks are
+// ordered by the block column they touch, so the moment column K+1 is up to
+// date the next panel factorization starts, hiding panel latency behind
+// trailing updates.
+//
+// The task graphs can also be built without binding numeric closures
+// (BuildCALUGraph / BuildCAQRGraph), annotated with canonical flop counts
+// and kernel classes; package simsched executes such graphs in virtual time
+// on a modeled machine, which is how the paper-scale experiments are
+// reproduced on hosts with fewer cores.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/tslu"
+)
+
+// Options configures CALU and CAQR.
+type Options struct {
+	// BlockSize is the panel width b. The paper uses b = min(100, n).
+	BlockSize int
+	// PanelThreads is Tr, the number of block rows in the panel reduction.
+	// Tr = 1 degenerates to a sequential panel (GEPP / recursive QR).
+	PanelThreads int
+	// Tree is the reduction tree shape (binary or flat height-1).
+	Tree tslu.Tree
+	// Workers is the number of scheduler goroutines (cores). Defaults to 1.
+	Workers int
+	// Lookahead enables the paper's look-ahead-of-1 priority scheme
+	// (column-ordered priorities). Disabled, tasks run iteration by
+	// iteration, which reintroduces the panel idle bubbles of Fig. 3.
+	Lookahead bool
+	// ColsPerTask groups this many b-wide block columns into each U/S
+	// task (the paper's future-work two-level blocking B = ColsPerTask*b).
+	// Zero or one keeps the paper's one-column-per-task decomposition.
+	ColsPerTask int
+	// WorkStealing runs the graph on the Cilk-style work-stealing runner
+	// instead of the paper's centralized priority scheduler. Results are
+	// bit-identical (tasks write disjoint regions); only the schedule
+	// changes. For the scheduling ablation.
+	WorkStealing bool
+	// StructuredTree uses the triangle-on-triangle TTQRT kernel for
+	// eligible CAQR tree merges instead of the paper's dense stacked QR —
+	// the optimization the paper's conclusion anticipates ("we are still
+	// working on improving the performance of CAQR"). LU is unaffected.
+	StructuredTree bool
+	// Trace records per-task execution events (Figs. 3-4).
+	Trace bool
+}
+
+// DefaultOptions returns the paper's defaults for an n-column matrix on
+// `workers` cores: b = min(100, n), Tr = workers, binary tree, look-ahead on.
+func DefaultOptions(n, workers int) Options {
+	b := 100
+	if n < b {
+		b = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return Options{
+		BlockSize:    b,
+		PanelThreads: workers,
+		Tree:         tslu.Binary,
+		Workers:      workers,
+		Lookahead:    true,
+	}
+}
+
+func (o *Options) normalize(m, n int) {
+	if o.BlockSize <= 0 {
+		o.BlockSize = min(100, n)
+	}
+	if o.BlockSize > n {
+		o.BlockSize = n
+	}
+	if o.PanelThreads < 1 {
+		o.PanelThreads = 1
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.ColsPerTask < 1 {
+		o.ColsPerTask = 1
+	}
+	if m < n {
+		panic(fmt.Sprintf("core: matrix must have m >= n, got %dx%d", m, n))
+	}
+}
+
+// priority computes the scheduling priority of a task touching block column
+// col (0-based) with the given within-column bonus. With look-ahead,
+// priorities are column-ordered: everything touching an earlier column
+// outranks everything touching a later one, which makes the critical path
+// (panel of column K+1 right after its update) run first. Without
+// look-ahead, priorities are iteration-ordered, serializing iterations.
+func priority(opt *Options, nBlocks, iter, col, bonus int) int {
+	if opt.Lookahead {
+		return (nBlocks-col)*1000 + bonus
+	}
+	return (nBlocks-iter)*1000 + bonus
+}
+
+// runGraph executes a built graph with the scheduler the options select.
+func runGraph(g *sched.Graph, opt *Options) []sched.Event {
+	if opt.WorkStealing {
+		r := sched.StealingRunner{Workers: opt.Workers, Trace: opt.Trace}
+		return r.Run(g)
+	}
+	r := sched.Runner{Workers: opt.Workers, Trace: opt.Trace}
+	return r.Run(g)
+}
+
+// Within-column task bonuses: the panel chain (P then L) outranks U, which
+// outranks S, mirroring the paper's "highest priority to tasks on the
+// critical path".
+const (
+	bonusFinalize = 95
+	bonusP        = 90
+	bonusL        = 85
+	bonusU        = 80
+	bonusS        = 70
+)
+
+// span is a half-open row interval [lo, hi) with the task that last wrote it.
+type span struct {
+	lo, hi int
+	task   *sched.Task
+}
+
+// frontier tracks, for one block column, which task last wrote each row
+// range. It is how cross-iteration dependencies (an S update of column J at
+// iteration K feeding the panel or update of column J at iteration K+1) are
+// discovered while building the graph on the fly.
+type frontier struct {
+	spans []span
+}
+
+// overlapping returns the tasks whose spans overlap [lo, hi).
+func (f *frontier) overlapping(lo, hi int) []*sched.Task {
+	var deps []*sched.Task
+	for _, s := range f.spans {
+		if s.lo < hi && lo < s.hi {
+			deps = append(deps, s.task)
+		}
+	}
+	return deps
+}
+
+// write records t as the last writer of [lo, hi), trimming or splitting any
+// previous spans it overlaps, and returns the tasks t must depend on.
+func (f *frontier) write(lo, hi int, t *sched.Task) []*sched.Task {
+	deps := f.overlapping(lo, hi)
+	out := f.spans[:0]
+	var extra []span
+	for _, s := range f.spans {
+		switch {
+		case s.hi <= lo || hi <= s.lo: // disjoint
+			out = append(out, s)
+		case s.lo < lo && s.hi > hi: // t's range splits s
+			out = append(out, span{s.lo, lo, s.task})
+			extra = append(extra, span{hi, s.hi, s.task})
+		case s.lo < lo: // s's tail overwritten
+			out = append(out, span{s.lo, lo, s.task})
+		case s.hi > hi: // s's head overwritten
+			out = append(out, span{hi, s.hi, s.task})
+		default: // fully covered
+		}
+	}
+	f.spans = append(append(out, extra...), span{lo, hi, t})
+	return deps
+}
+
+// read returns the tasks a reader of [lo, hi) must depend on, without
+// changing the frontier. Anti-dependencies (a later writer must wait for
+// this reader) are handled structurally by the algorithms: the only readers
+// of a region that is later rewritten are tasks the rewriter already
+// depends on transitively.
+func (f *frontier) read(lo, hi int) []*sched.Task {
+	return f.overlapping(lo, hi)
+}

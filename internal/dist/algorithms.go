@@ -1,0 +1,367 @@
+package dist
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+	"repro/internal/tslu"
+)
+
+// Message tags.
+const (
+	tagCandidates = iota + 1
+	tagWinners
+	tagPivotMax
+	tagPivotRow
+	tagRowSwap
+	tagRFactor
+)
+
+// encodeCandidates packs a candidate set (original rows + global indices)
+// into one flat message: [k, b, rows (k*b col-major), idx (k)].
+func encodeCandidates(c *tslu.Candidates) []float64 {
+	k, b := c.Rows.Rows, c.Rows.Cols
+	out := make([]float64, 0, 2+k*b+k)
+	out = append(out, float64(k), float64(b))
+	for j := 0; j < b; j++ {
+		out = append(out, c.Rows.Col(j)...)
+	}
+	for _, idx := range c.Idx {
+		out = append(out, float64(idx))
+	}
+	return out
+}
+
+func decodeCandidates(buf []float64) *tslu.Candidates {
+	k, b := int(buf[0]), int(buf[1])
+	rows := matrix.New(k, b)
+	at := 2
+	for j := 0; j < b; j++ {
+		copy(rows.Col(j), buf[at:at+k])
+		at += k
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = int(buf[at+i])
+	}
+	return &tslu.Candidates{Rows: rows, Idx: idx}
+}
+
+// TSLU runs the distributed tournament-pivoting preprocessing of an m x b
+// panel over the world's P processes (1D contiguous block-row layout:
+// rank r owns rows blocks[r]), with a binary reduction tree. Every rank
+// returns the same winner list (global row indices, pivot order) after a
+// binomial broadcast from the root — exactly the communication pattern of
+// the paper's Section II.
+//
+// Per-process communication: at most log2(P) candidate messages up the
+// binary tree plus log2(P) forwarding messages of the broadcast.
+func TSLU(w *World, panel *matrix.Dense, p int) [][]int {
+	return TSLUTree(w, panel, p, tslu.Binary)
+}
+
+// TSLUTree is TSLU with a selectable reduction tree shape. The merge
+// schedule comes from the same tslu.PlanReduction the shared-memory
+// algorithm uses: each merge step runs on the rank owning its first input,
+// and every other input's owner sends its candidates there. Flat trees
+// concentrate P-1 messages at the root (one round); binary trees spread
+// them over log2(P) rounds; hybrid sits between.
+func TSLUTree(w *World, panel *matrix.Dense, p int, tree tslu.Tree) [][]int {
+	m := panel.Rows
+	blocks := tslu.Partition(m, p)
+	p = len(blocks)
+	steps := tslu.PlanReduction(p, tree)
+	// ownerOfNode[idx] = rank holding node idx's candidates (leaves are
+	// their own rank; a merge output lives with its first input's owner).
+	ownerOfNode := make([]int, p+len(steps))
+	for i := 0; i < p; i++ {
+		ownerOfNode[i] = i
+	}
+	for _, st := range steps {
+		ownerOfNode[st.Out] = ownerOfNode[st.In[0]]
+	}
+	winners := make([][]int, w.Size())
+	var mu sync.Mutex
+
+	w.Run(func(c *Comm) {
+		rank := c.Rank()
+		// cands holds the candidate sets this rank currently owns, by
+		// node index.
+		cands := map[int]*tslu.Candidates{}
+		if rank < p {
+			blk := blocks[rank]
+			local := panel.View(blk[0], 0, blk[1]-blk[0], panel.Cols)
+			cands[rank] = tslu.Leaf(local, blk[0])
+		}
+		for _, st := range steps {
+			dst := ownerOfNode[st.In[0]]
+			// Send phase: non-leading inputs this rank owns go to dst.
+			for _, in := range st.In[1:] {
+				if ownerOfNode[in] == rank && rank != dst {
+					c.Send(dst, tagCandidates, encodeCandidates(cands[in]))
+					delete(cands, in)
+				}
+			}
+			// Merge phase on the destination rank.
+			if rank == dst {
+				ins := make([]*tslu.Candidates, len(st.In))
+				for i, in := range st.In {
+					if ownerOfNode[in] == rank {
+						ins[i] = cands[in]
+						delete(cands, in)
+					} else {
+						ins[i] = decodeCandidates(c.Recv(ownerOfNode[in], tagCandidates))
+					}
+				}
+				cands[st.Out] = tslu.MergeMany(ins)
+			}
+		}
+		rootNode := p + len(steps) - 1
+		if len(steps) == 0 {
+			rootNode = 0
+		}
+		rootRank := ownerOfNode[rootNode]
+		var buf []float64
+		if rank == rootRank {
+			root := cands[rootNode]
+			buf = make([]float64, len(root.Idx))
+			for i, idx := range root.Idx {
+				buf[i] = float64(idx)
+			}
+		}
+		buf = c.Bcast(rootRank, tagWinners, buf)
+		got := make([]int, len(buf))
+		for i, v := range buf {
+			got[i] = int(v)
+		}
+		mu.Lock()
+		winners[rank] = got
+		mu.Unlock()
+	})
+	return winners
+}
+
+// GEPP runs classic distributed partial pivoting on an m x b panel over P
+// block-row processes — the baseline whose per-column communication the
+// paper's ca-pivoting removes. Each column pays a max-reduction to the
+// root, a pivot broadcast, and a row exchange, so a process sends
+// O(b log P) messages. The panel is factored in place; every rank returns
+// the same pivot list (global row indices, in order).
+func GEPP(w *World, panel *matrix.Dense, p int) [][]int {
+	m, b := panel.Rows, panel.Cols
+	blocks := tslu.Partition(m, p)
+	p = len(blocks)
+	pivots := make([][]int, w.Size())
+	var mu sync.Mutex
+
+	// Each rank keeps a private copy of its block, as on distributed
+	// memory. Row j's owner is found dynamically, so no constraint on the
+	// block sizes is needed.
+	locals := make([]*matrix.Dense, p)
+	for r, blk := range blocks {
+		locals[r] = panel.View(blk[0], 0, blk[1]-blk[0], b).Clone()
+	}
+
+	w.Run(func(c *Comm) {
+		rank := c.Rank()
+		got := make([]int, 0, b)
+		if rank < p {
+			local := locals[rank]
+			r0 := blocks[rank][0]
+			for j := 0; j < b; j++ {
+				// Local pivot candidate among not-yet-pivoted local rows.
+				bestVal, bestRow := 0.0, -1
+				for i := 0; i < local.Rows; i++ {
+					if r0+i < j {
+						continue // rows above the current diagonal are done
+					}
+					if a := math.Abs(local.At(i, j)); a > bestVal {
+						bestVal, bestRow = a, i
+					}
+				}
+				// Reduce (value, globalRow) to rank 0: binary tree.
+				cand := []float64{bestVal, float64(r0 + bestRow)}
+				if bestRow < 0 {
+					cand = []float64{-1, -1}
+				}
+				for half := 1; half < p; half *= 2 {
+					if rank%(2*half) == half {
+						c.Send(rank-half, tagPivotMax, cand)
+						break
+					}
+					if rank%(2*half) == 0 && rank+half < p {
+						other := c.Recv(rank+half, tagPivotMax)
+						if other[0] > cand[0] {
+							cand = other
+						}
+					}
+				}
+				// Root broadcasts the winning global row.
+				win := c.Bcast(0, tagPivotMax, cand)
+				pivotRow := int(win[1])
+				got = append(got, pivotRow)
+
+				// The pivot row's owner broadcasts the row values.
+				owner := ownerOf(blocks, pivotRow)
+				var row []float64
+				if rank == owner {
+					row = localRow(locals[owner], pivotRow-blocks[owner][0])
+				}
+				row = c.Bcast(owner, tagPivotRow, row)
+
+				// Swap the pivot row with global row j (owner of row j is
+				// whoever holds it; with blocks[0] >= b rows that is rank 0).
+				jOwner := ownerOf(blocks, j)
+				if rank == owner && rank == jOwner {
+					if pivotRow != j {
+						swapLocalRows(local, pivotRow-r0, j-r0)
+					}
+				} else {
+					if rank == jOwner {
+						// Send row j to the pivot owner, adopt the pivot row.
+						c.Send(owner, tagRowSwap, localRow(local, j-r0))
+						setLocalRow(local, j-r0, row)
+					}
+					if rank == owner {
+						jRow := c.Recv(jOwner, tagRowSwap)
+						setLocalRow(local, pivotRow-r0, jRow)
+					}
+				}
+
+				// Eliminate below row j against the broadcast pivot row.
+				piv := row[j]
+				for i := 0; i < local.Rows; i++ {
+					if r0+i <= j {
+						continue
+					}
+					f := local.At(i, j) / piv
+					local.Set(i, j, f)
+					for col := j + 1; col < b; col++ {
+						local.Set(i, col, local.At(i, col)-f*row[col])
+					}
+				}
+			}
+		} else {
+			// Idle ranks still participate in the broadcasts.
+			for j := 0; j < b; j++ {
+				win := c.Bcast(0, tagPivotMax, nil)
+				got = append(got, int(win[1]))
+				owner := ownerOf(blocks, int(win[1]))
+				c.Bcast(owner, tagPivotRow, nil)
+			}
+		}
+		mu.Lock()
+		pivots[rank] = got
+		mu.Unlock()
+	})
+
+	// Write the factored blocks back for inspection.
+	for r, blk := range blocks {
+		panel.View(blk[0], 0, blk[1]-blk[0], b).CopyFrom(locals[r])
+	}
+	return pivots
+}
+
+// TSQR runs the distributed tall-skinny QR of an m x b panel over P
+// block-row processes with a binary reduction tree, returning the final
+// b x b R factor (valid on every rank after the broadcast).
+func TSQR(w *World, panel *matrix.Dense, p int) []*matrix.Dense {
+	m, b := panel.Rows, panel.Cols
+	if p > m/b {
+		p = m / b
+	}
+	if p < 1 {
+		p = 1
+	}
+	blocks := tslu.Partition(m, p)
+	p = len(blocks)
+	results := make([]*matrix.Dense, w.Size())
+	var mu sync.Mutex
+
+	w.Run(func(c *Comm) {
+		rank := c.Rank()
+		var r *matrix.Dense
+		if rank < p {
+			blk := blocks[rank]
+			local := panel.View(blk[0], 0, blk[1]-blk[0], b).Clone()
+			tau := make([]float64, min(local.Rows, b))
+			lapack.GEQR2(local, tau)
+			r = lapack.ExtractR(local)
+			for half := 1; half < p; half *= 2 {
+				if rank%(2*half) == half {
+					c.Send(rank-half, tagRFactor, flatten(r))
+					r = nil
+					break
+				}
+				if rank%(2*half) == 0 && rank+half < p {
+					other := unflatten(c.Recv(rank+half, tagRFactor), b)
+					r = mergeR(r, other)
+				}
+			}
+		}
+		var buf []float64
+		if rank == 0 {
+			buf = flatten(r)
+		}
+		buf = c.Bcast(0, tagRFactor, buf)
+		mu.Lock()
+		results[rank] = unflatten(buf, b)
+		mu.Unlock()
+	})
+	return results
+}
+
+// mergeR computes the R factor of two stacked upper-triangular/trapezoidal
+// factors.
+func mergeR(r1, r2 *matrix.Dense) *matrix.Dense {
+	b := r1.Cols
+	stack := matrix.New(r1.Rows+r2.Rows, b)
+	stack.View(0, 0, r1.Rows, b).CopyFrom(r1)
+	stack.View(r1.Rows, 0, r2.Rows, b).CopyFrom(r2)
+	tau := make([]float64, min(stack.Rows, b))
+	lapack.GEQR2(stack, tau)
+	return lapack.ExtractR(stack)
+}
+
+func flatten(m *matrix.Dense) []float64 {
+	out := make([]float64, 0, m.Rows*m.Cols+1)
+	out = append(out, float64(m.Rows))
+	for j := 0; j < m.Cols; j++ {
+		out = append(out, m.Col(j)...)
+	}
+	return out
+}
+
+func unflatten(buf []float64, cols int) *matrix.Dense {
+	rows := int(buf[0])
+	m := matrix.New(rows, cols)
+	at := 1
+	for j := 0; j < cols; j++ {
+		copy(m.Col(j), buf[at:at+rows])
+		at += rows
+	}
+	return m
+}
+
+func ownerOf(blocks [][2]int, row int) int {
+	for r, blk := range blocks {
+		if row >= blk[0] && row < blk[1] {
+			return r
+		}
+	}
+	panic("dist: row out of range")
+}
+
+func localRow(local *matrix.Dense, i int) []float64 {
+	return local.Row(i)
+}
+
+func setLocalRow(local *matrix.Dense, i int, row []float64) {
+	local.SetRow(i, row)
+}
+
+func swapLocalRows(local *matrix.Dense, i1, i2 int) {
+	local.SwapRows(i1, i2)
+}

@@ -1,0 +1,148 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/blas"
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+	"repro/internal/tslu"
+)
+
+// Tags for the distributed QR.
+const (
+	tagQRPair = iota + 200
+	tagQRBack
+)
+
+// CAQR performs the complete distributed-memory CAQR factorization of
+// Section II: an m x n matrix (m >= n, m divisible by the panel width b)
+// distributed over P contiguous block-row processes. Each panel runs a
+// binary-tree TSQR across the ranks; tree merges use the structured
+// triangle-on-triangle kernel, and each merge ships the partner's R factor
+// plus its trailing-matrix carrier rows to the leading rank and returns
+// the updated rows — the real communication pattern of distributed CAQR
+// (one R + one w x n_trail block per tree edge).
+//
+// On return the matrix's upper triangle holds R (the local leaf reflectors
+// remain below, rank by rank, as in the shared-memory algorithm).
+func CAQR(w *World, a *matrix.Dense, b int) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("dist: CAQR needs m >= n, got %dx%d", m, n))
+	}
+	if b < 1 || m%b != 0 {
+		panic(fmt.Sprintf("dist: CAQR needs b >= 1 dividing m, got b=%d m=%d", b, m))
+	}
+	p := w.Size()
+	blocks := alignedBlocks(m, b, p)
+	nPanels := (n + b - 1) / b
+
+	w.Run(func(c *Comm) {
+		rank := c.Rank()
+		myLo, myHi := 0, 0
+		if rank < len(blocks) {
+			myLo, myHi = blocks[rank][0], blocks[rank][1]
+		}
+		for k := 0; k < nPanels; k++ {
+			r0 := k * b
+			wk := min(b, n-r0)
+			nTrail := n - r0 - wk
+			participants := activeRanks(blocks, r0)
+
+			// --- Leaf QR on the local active block, plus local trailing
+			// update. Everything here is rank-local. ---
+			lo := max(myLo, r0)
+			if rank < len(blocks) && lo < myHi {
+				local := a.View(lo, r0, myHi-lo, wk)
+				tau := make([]float64, wk)
+				leafT := matrix.New(wk, wk)
+				lapack.GEQR3(local, tau, leafT)
+				if nTrail > 0 {
+					trail := a.View(lo, r0+wk, myHi-lo, nTrail)
+					lapack.Larfb(blas.Trans, local, leafT, trail)
+				}
+			}
+
+			// --- Binary tree over the participants' R carriers. Each
+			// rank's carrier is the top wk rows of its active block. ---
+			steps := tslu.PlanReduction(len(participants), tslu.Binary)
+			owner := make([]int, len(participants)+len(steps))
+			copy(owner, participants)
+			carrier := make([]int, len(participants)+len(steps))
+			for i, pr := range participants {
+				carrier[i] = max(blocks[pr][0], r0)
+			}
+			for _, st := range steps {
+				owner[st.Out] = owner[st.In[0]]
+				carrier[st.Out] = carrier[st.In[0]]
+			}
+			for _, st := range steps {
+				dst := owner[st.In[0]]
+				srcNode := st.In[1]
+				src := owner[srcNode]
+				switch rank {
+				case src:
+					if src == dst {
+						break
+					}
+					// Ship R2 (upper triangle) and the trailing carrier
+					// rows to the leading rank; receive the updated
+					// trailing rows back. (R2's slot becomes reflector
+					// storage conceptually; its value is dead here.)
+					row := carrier[srcNode]
+					r2 := a.View(row, r0, wk, wk)
+					c.Send(dst, tagQRPair, flatten(r2))
+					if nTrail > 0 {
+						c2 := a.View(row, r0+wk, wk, nTrail)
+						c.Send(dst, tagQRPair, flatten(c2))
+						back := unflatten(c.Recv(dst, tagQRBack), nTrail)
+						c2.CopyFrom(back)
+					}
+				case dst:
+					row1 := carrier[st.In[0]]
+					r1 := a.View(row1, r0, wk, wk)
+					var r2 *matrix.Dense
+					var c2 *matrix.Dense
+					if src == dst {
+						// Both carriers local (single-rank tail merges).
+						row2 := carrier[srcNode]
+						r2 = upperInPlace(a.View(row2, r0, wk, wk).Clone())
+						if nTrail > 0 {
+							c2 = a.View(row2, r0+wk, wk, nTrail)
+						}
+					} else {
+						r2 = unflatten(c.Recv(src, tagQRPair), wk)
+						if nTrail > 0 {
+							c2 = unflatten(c.Recv(src, tagQRPair), nTrail)
+						}
+					}
+					t := matrix.New(wk, wk)
+					lapack.TTQRT(upperInPlace(r1), r2, t)
+					if nTrail > 0 {
+						c1 := a.View(row1, r0+wk, wk, nTrail)
+						lapack.TTMQRT(blas.Trans, r2, t, c1, c2)
+						if src != dst {
+							c.Send(src, tagQRBack, flatten(c2))
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// upperInPlace zeroes the strictly-lower part of a square view so TTQRT
+// can treat it as a clean triangle (the sub-diagonal holds leaf reflector
+// data that belongs to this rank's implicit Q and must not perturb R).
+// The reflector data is cleared: in the distributed algorithm the final R
+// is the product; per-rank Qs are discarded after the trailing update.
+func upperInPlace(r *matrix.Dense) *matrix.Dense {
+	for j := 0; j < r.Cols; j++ {
+		col := r.Col(j)
+		for i := j + 1; i < r.Rows; i++ {
+			col[i] = 0
+		}
+	}
+	return r
+}

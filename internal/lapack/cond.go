@@ -1,0 +1,150 @@
+package lapack
+
+import (
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// OneNormEst estimates the 1-norm of an implicit n x n operator B given
+// only matrix-vector products with B and B^T, using Hager's algorithm (the
+// method behind LAPACK's dlacon). apply and applyT overwrite their argument
+// with B*x and B^T*x respectively. The estimate is a lower bound that is
+// almost always within a small factor of the true norm.
+func OneNormEst(n int, apply, applyT func(x []float64)) float64 {
+	if n == 0 {
+		return 0
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	apply(x)
+	est := norm1(x)
+	if n == 1 {
+		return est
+	}
+	xi := make([]float64, n)
+	for iter := 0; iter < 5; iter++ {
+		for i, v := range x {
+			if v >= 0 {
+				xi[i] = 1
+			} else {
+				xi[i] = -1
+			}
+		}
+		z := make([]float64, n)
+		copy(z, xi)
+		applyT(z)
+		j, zmax := 0, 0.0
+		for i, v := range z {
+			if a := math.Abs(v); a > zmax {
+				j, zmax = i, a
+			}
+		}
+		// Convergence: the new direction is no better than the current one.
+		dot := 0.0
+		for i := range z {
+			dot += z[i] * x[i]
+		}
+		if zmax <= math.Abs(dot) {
+			break
+		}
+		for i := range x {
+			x[i] = 0
+		}
+		x[j] = 1
+		apply(x)
+		newEst := norm1(x)
+		if newEst <= est {
+			break
+		}
+		est = newEst
+	}
+	return est
+}
+
+func norm1(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// LUSolveTranspose solves A^T * x = b given the in-place factorization
+// produced by GETF2/RGETF2/GETRF: A = P^T L U, so A^T = U^T L^T P and
+// x = P^T (L^T)^{-1} (U^T)^{-1} b. b is overwritten with the solution.
+func LUSolveTranspose(lu *matrix.Dense, ipiv []int, b *matrix.Dense) {
+	if lu.Rows != lu.Cols {
+		panic("lapack: LUSolveTranspose needs square factor")
+	}
+	if b.Rows != lu.Rows {
+		panic("lapack: LUSolveTranspose rhs rows mismatch")
+	}
+	// U^T is lower triangular: forward substitution with Trans.
+	trsmT(lu, b, true)
+	trsmT(lu, b, false)
+	LASWPBackward(b, ipiv, 0, len(ipiv))
+}
+
+// trsmT applies (U^T)^{-1} (upper=true) or (L^T)^{-1} (upper=false) using
+// the packed LU factor.
+func trsmT(lu *matrix.Dense, b *matrix.Dense, upper bool) {
+	n := lu.Rows
+	for col := 0; col < b.Cols; col++ {
+		x := b.Col(col)
+		if upper {
+			// Solve U^T y = x: U^T is lower triangular with U's diagonal.
+			for i := 0; i < n; i++ {
+				sum := x[i]
+				for k := 0; k < i; k++ {
+					sum -= lu.At(k, i) * x[k]
+				}
+				x[i] = sum / lu.At(i, i)
+			}
+		} else {
+			// Solve L^T y = x: L^T is unit upper triangular with entries
+			// L^T(i, k) = L(k, i) for k > i.
+			for i := n - 1; i >= 0; i-- {
+				sum := x[i]
+				for k := i + 1; k < n; k++ {
+					sum -= lu.At(k, i) * x[k]
+				}
+				x[i] = sum
+			}
+		}
+	}
+}
+
+// GECON estimates the reciprocal 1-norm condition number of a square matrix
+// from its LU factorization and the 1-norm of the original matrix, like
+// LAPACK dgecon: rcond = 1 / (||A||_1 * est(||A^{-1}||_1)). Returns 0 for a
+// singular or numerically singular factor.
+func GECON(lu *matrix.Dense, ipiv []int, anorm float64) float64 {
+	n := lu.Rows
+	for i := 0; i < n; i++ {
+		if lu.At(i, i) == 0 {
+			return 0
+		}
+	}
+	if anorm == 0 {
+		return 0
+	}
+	buf := matrix.New(n, 1)
+	invNorm := OneNormEst(n,
+		func(x []float64) {
+			copy(buf.Col(0), x)
+			LUSolve(lu, ipiv, buf)
+			copy(x, buf.Col(0))
+		},
+		func(x []float64) {
+			copy(buf.Col(0), x)
+			LUSolveTranspose(lu, ipiv, buf)
+			copy(x, buf.Col(0))
+		})
+	if invNorm == 0 || math.IsInf(invNorm, 0) || math.IsNaN(invNorm) {
+		return 0
+	}
+	return 1 / (anorm * invNorm)
+}

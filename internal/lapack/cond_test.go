@@ -1,0 +1,138 @@
+package lapack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+)
+
+func TestOneNormEstExactOnExplicitMatrix(t *testing.T) {
+	// Estimate ||B||_1 for an explicit matrix via products; Hager's bound
+	// should land within a small factor of the truth (often exact).
+	b := matrix.Random(30, 30, 3)
+	truth := b.NormOne()
+	est := OneNormEst(30,
+		func(x []float64) {
+			y := make([]float64, 30)
+			blas.Dgemv(blas.NoTrans, 30, 30, 1, b.Data, b.Stride, x, 1, 0, y, 1)
+			copy(x, y)
+		},
+		func(x []float64) {
+			y := make([]float64, 30)
+			blas.Dgemv(blas.Trans, 30, 30, 1, b.Data, b.Stride, x, 1, 0, y, 1)
+			copy(x, y)
+		})
+	if est > truth*1.0000001 {
+		t.Fatalf("estimate %v exceeds true norm %v", est, truth)
+	}
+	if est < truth/3 {
+		t.Fatalf("estimate %v too far below true norm %v", est, truth)
+	}
+}
+
+func TestLUSolveTranspose(t *testing.T) {
+	n := 25
+	orig := matrix.Random(n, n, 5)
+	xWant := matrix.Random(n, 2, 6)
+	rhs := blas.Mul(blas.Trans, blas.NoTrans, orig, xWant) // A^T x
+	lu := orig.Clone()
+	ipiv := make([]int, n)
+	if err := GETRF(lu, ipiv, 8); err != nil {
+		t.Fatal(err)
+	}
+	LUSolveTranspose(lu, ipiv, rhs)
+	if !rhs.EqualApprox(xWant, 1e-9) {
+		t.Fatal("transpose solve wrong")
+	}
+}
+
+func TestGECONWellVsIllConditioned(t *testing.T) {
+	// Well conditioned: diagonally dominant. Ill conditioned: near singular.
+	well := matrix.DiagonallyDominant(40, 7)
+	ill := matrix.NearSingular(40, 40, 1e-10, 8)
+
+	rcond := func(a *matrix.Dense) float64 {
+		lu := a.Clone()
+		ipiv := make([]int, 40)
+		if err := GETRF(lu, ipiv, 8); err != nil {
+			t.Fatal(err)
+		}
+		return GECON(lu, ipiv, a.NormOne())
+	}
+	rw, ri := rcond(well), rcond(ill)
+	if rw < 1e-4 {
+		t.Fatalf("well-conditioned rcond %g too small", rw)
+	}
+	if ri > 1e-6 {
+		t.Fatalf("near-singular rcond %g too large", ri)
+	}
+	if ri >= rw {
+		t.Fatalf("rcond ordering wrong: %g vs %g", ri, rw)
+	}
+}
+
+func TestGECONSingular(t *testing.T) {
+	lu := matrix.Identity(5)
+	lu.Set(2, 2, 0)
+	ipiv := []int{0, 1, 2, 3, 4}
+	if rc := GECON(lu, ipiv, 1); rc != 0 {
+		t.Fatalf("singular rcond = %v", rc)
+	}
+	if rc := GECON(matrix.Identity(3), []int{0, 1, 2}, 0); rc != 0 {
+		t.Fatalf("anorm=0 rcond = %v", rc)
+	}
+}
+
+func TestGECONIdentity(t *testing.T) {
+	n := 10
+	lu := matrix.Identity(n)
+	ipiv := make([]int, n)
+	for i := range ipiv {
+		ipiv[i] = i
+	}
+	rc := GECON(lu, ipiv, 1)
+	if math.Abs(rc-1) > 1e-12 {
+		t.Fatalf("identity rcond = %v want 1", rc)
+	}
+}
+
+// Property: solving with A then with A^T matches the inverse-transpose
+// identity (A^{-1})^T = (A^T)^{-1}.
+func TestSolveTransposeConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 8 + int(uint64(seed)%16)
+		a := matrix.DiagonallyDominant(n, seed)
+		lu := a.Clone()
+		ipiv := make([]int, n)
+		if err := GETRF(lu, ipiv, 4); err != nil {
+			return false
+		}
+		// e_j via both routes.
+		for j := 0; j < 3 && j < n; j++ {
+			e := matrix.New(n, 1)
+			e.Set(j, 0, 1)
+			x1 := e.Clone()
+			LUSolve(lu, ipiv, x1) // column j of A^{-1}
+			x2 := e.Clone()
+			LUSolveTranspose(lu, ipiv, x2) // column j of (A^T)^{-1} = row j of A^{-1}
+			// Check x2[i] == (A^{-1})(j, i): solve for e_i and compare entry j.
+			for i := 0; i < 3 && i < n; i++ {
+				ei := matrix.New(n, 1)
+				ei.Set(i, 0, 1)
+				col := ei.Clone()
+				LUSolve(lu, ipiv, col)
+				if diff := col.At(j, 0) - x2.At(i, 0); diff > 1e-10 || diff < -1e-10 {
+					return false
+				}
+			}
+			_ = x1
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

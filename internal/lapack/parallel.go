@@ -1,0 +1,129 @@
+package lapack
+
+import (
+	"sync"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+)
+
+// parallelFor runs body(i) for i in [0, n) across at most workers
+// goroutines, blocking until all complete. With workers <= 1 it runs inline.
+// This is the fork-join model used by the vendor-library stand-ins: a
+// barrier after every bulk operation, which is exactly the synchronization
+// pattern the communication-avoiding algorithms are designed to beat.
+func parallelFor(n, workers int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// PGETRF computes the LU factorization with partial pivoting using the
+// classic fork-join parallelization: the panel is factored sequentially
+// (BLAS-2 on the critical path, as in vendor dgetrf), then the row swaps,
+// TRSM and GEMM of the trailing matrix are split column-block-wise over
+// `workers` goroutines with a barrier between iterations. It is the
+// multithreaded MKL_dgetrf / ACML_dgetrf stand-in for measured experiments.
+func PGETRF(a *matrix.Dense, ipiv []int, nb, workers int) error {
+	m, n := a.Rows, a.Cols
+	k := min(m, n)
+	if len(ipiv) != k {
+		panic("lapack: PGETRF ipiv length mismatch")
+	}
+	if nb < 1 || workers < 1 {
+		panic("lapack: PGETRF bad nb or workers")
+	}
+	var err error
+	for j := 0; j < k; j += nb {
+		jb := min(nb, k-j)
+		panel := a.View(j, j, m-j, jb)
+		if e := RGETF2(panel, ipiv[j:j+jb]); e != nil {
+			err = e
+		}
+		for i := j; i < j+jb; i++ {
+			ipiv[i] += j
+		}
+		// Swap + update the rest of the matrix in parallel column blocks.
+		nLeft := j / nb
+		nRight := (n - j - jb + nb - 1) / nb
+		parallelFor(nLeft+nRight, workers, func(t int) {
+			var cols *matrix.Dense
+			if t < nLeft {
+				c0 := t * nb
+				cols = a.View(0, c0, m, min(nb, j-c0))
+				LASWP(cols, ipiv[:j+jb], j, j+jb)
+				return
+			}
+			c0 := j + jb + (t-nLeft)*nb
+			cw := min(nb, n-c0)
+			cols = a.View(0, c0, m, cw)
+			LASWP(cols, ipiv[:j+jb], j, j+jb)
+			l11 := a.View(j, j, jb, jb)
+			u12 := cols.View(j, 0, jb, cw)
+			blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, l11, u12)
+			if j+jb < m {
+				l21 := a.View(j+jb, j, m-j-jb, jb)
+				a22 := cols.View(j+jb, 0, m-j-jb, cw)
+				blas.Gemm(blas.NoTrans, blas.NoTrans, -1, l21, u12, 1, a22)
+			}
+		})
+	}
+	return err
+}
+
+// PGEQRF computes the blocked Householder QR factorization with the same
+// fork-join parallelization as PGETRF: sequential panel (GEQR2), parallel
+// block-column application of the block reflector. It is the multithreaded
+// MKL_dgeqrf stand-in for measured experiments.
+func PGEQRF(a *matrix.Dense, tau []float64, nb, workers int) {
+	m, n := a.Rows, a.Cols
+	k := min(m, n)
+	if len(tau) != k {
+		panic("lapack: PGEQRF tau length mismatch")
+	}
+	if nb < 1 || workers < 1 {
+		panic("lapack: PGEQRF bad nb or workers")
+	}
+	t := matrix.New(nb, nb)
+	for j := 0; j < k; j += nb {
+		jb := min(nb, k-j)
+		panel := a.View(j, j, m-j, jb)
+		GEQR2(panel, tau[j:j+jb])
+		if j+jb < n {
+			tj := t.View(0, 0, jb, jb)
+			Larft(panel, tau[j:j+jb], tj)
+			nBlocks := (n - j - jb + nb - 1) / nb
+			parallelFor(nBlocks, workers, func(bi int) {
+				c0 := j + jb + bi*nb
+				cw := min(nb, n-c0)
+				trail := a.View(j, c0, m-j, cw)
+				Larfb(blas.Trans, panel, tj, trail)
+			})
+		}
+	}
+}

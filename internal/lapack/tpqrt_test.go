@@ -1,0 +1,232 @@
+package lapack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+)
+
+// denseStackQR is the reference: dense QR of [R; B].
+func denseStackQR(r, b *matrix.Dense) *matrix.Dense {
+	bw := r.Cols
+	stack := matrix.New(bw+b.Rows, bw)
+	stack.View(0, 0, bw, bw).CopyFrom(r)
+	stack.View(bw, 0, b.Rows, bw).CopyFrom(b)
+	tau := make([]float64, bw)
+	GEQR2(stack, tau)
+	return ExtractR(stack).View(0, 0, bw, bw).Clone()
+}
+
+func upperTriRandom(n int, seed int64) *matrix.Dense {
+	r := matrix.New(n, n)
+	src := matrix.Random(n, n, seed)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			r.Set(i, j, src.At(i, j))
+		}
+	}
+	return r
+}
+
+func TestTPQRTMatchesDenseR(t *testing.T) {
+	for _, tc := range []struct{ m, b int }{{8, 4}, {20, 8}, {16, 16}, {40, 5}, {1, 3}} {
+		r := upperTriRandom(tc.b, int64(tc.m))
+		b := matrix.Random(tc.m, tc.b, int64(tc.b))
+		want := denseStackQR(r, b)
+
+		rr, bb := r.Clone(), b.Clone()
+		tt := matrix.New(tc.b, tc.b)
+		TPQRT(rr, bb, tt)
+		for i := 0; i < tc.b; i++ {
+			for j := i; j < tc.b; j++ {
+				if math.Abs(math.Abs(rr.At(i, j))-math.Abs(want.At(i, j))) > 1e-11 {
+					t.Fatalf("m=%d b=%d: |R(%d,%d)| %v vs dense %v",
+						tc.m, tc.b, i, j, rr.At(i, j), want.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestTPQRTAnnihilatesB(t *testing.T) {
+	// Applying Q^T to the original pair must yield [R'; 0].
+	bw, m := 6, 15
+	r0 := upperTriRandom(bw, 3)
+	b0 := matrix.Random(m, bw, 4)
+
+	r, b := r0.Clone(), b0.Clone()
+	tt := matrix.New(bw, bw)
+	TPQRT(r, b, tt)
+
+	c1, c2 := r0.Clone(), b0.Clone()
+	TPMQRT(blas.Trans, b, tt, c1, c2)
+	if !c1.EqualApprox(r, 1e-11) {
+		t.Fatal("Q^T [R0; B0] top != new R")
+	}
+	if c2.MaxAbs() > 1e-11 {
+		t.Fatalf("Q^T [R0; B0] bottom not annihilated: %g", c2.MaxAbs())
+	}
+}
+
+func TestTPMQRTRoundTrip(t *testing.T) {
+	bw, m, n := 5, 12, 7
+	r := upperTriRandom(bw, 5)
+	b := matrix.Random(m, bw, 6)
+	tt := matrix.New(bw, bw)
+	TPQRT(r, b, tt)
+
+	c1 := matrix.Random(bw, n, 7)
+	c2 := matrix.Random(m, n, 8)
+	o1, o2 := c1.Clone(), c2.Clone()
+	TPMQRT(blas.Trans, b, tt, c1, c2)
+	TPMQRT(blas.NoTrans, b, tt, c1, c2)
+	if !c1.EqualApprox(o1, 1e-10) || !c2.EqualApprox(o2, 1e-10) {
+		t.Fatal("Q Q^T round trip failed")
+	}
+}
+
+func TestTPMQRTOrthogonality(t *testing.T) {
+	// The implicit Q must be orthogonal: norms are preserved.
+	bw, m := 4, 10
+	r := upperTriRandom(bw, 9)
+	b := matrix.Random(m, bw, 10)
+	tt := matrix.New(bw, bw)
+	TPQRT(r, b, tt)
+
+	c1 := matrix.Random(bw, 3, 11)
+	c2 := matrix.Random(m, 3, 12)
+	before := frob2(c1) + frob2(c2)
+	TPMQRT(blas.Trans, b, tt, c1, c2)
+	after := frob2(c1) + frob2(c2)
+	if math.Abs(before-after)/before > 1e-12 {
+		t.Fatalf("norm not preserved: %v -> %v", before, after)
+	}
+}
+
+func frob2(a *matrix.Dense) float64 {
+	s := 0.0
+	for j := 0; j < a.Cols; j++ {
+		for _, v := range a.Col(j) {
+			s += v * v
+		}
+	}
+	return s
+}
+
+func TestTPQRTEquivalentToGEQR2OnStack(t *testing.T) {
+	// Full consistency: the structured reflectors are mathematically the
+	// same vectors as the dense stacked ones (the triangle's zeros persist
+	// through the elimination), so R and the transformed C must match the
+	// dense path exactly (to rounding).
+	bw, m, n := 6, 14, 4
+	r0 := upperTriRandom(bw, 13)
+	b0 := matrix.Random(m, bw, 14)
+	c10 := matrix.Random(bw, n, 15)
+	c20 := matrix.Random(m, n, 16)
+
+	// Structured path.
+	r, b := r0.Clone(), b0.Clone()
+	tt := matrix.New(bw, bw)
+	TPQRT(r, b, tt)
+	c1s, c2s := c10.Clone(), c20.Clone()
+	TPMQRT(blas.Trans, b, tt, c1s, c2s)
+
+	// Dense path.
+	stack := matrix.New(bw+m, bw)
+	stack.View(0, 0, bw, bw).CopyFrom(r0)
+	stack.View(bw, 0, m, bw).CopyFrom(b0)
+	tau := make([]float64, bw)
+	tmat := matrix.New(bw, bw)
+	GEQR3(stack, tau, tmat)
+	cs := matrix.New(bw+m, n)
+	cs.View(0, 0, bw, n).CopyFrom(c10)
+	cs.View(bw, 0, m, n).CopyFrom(c20)
+	Larfb(blas.Trans, stack, tmat, cs)
+
+	denseR := ExtractR(stack).View(0, 0, bw, bw)
+	if !r.EqualApprox(denseR, 1e-11) {
+		t.Fatal("structured R differs from dense-stack R")
+	}
+	if !c1s.EqualApprox(cs.View(0, 0, bw, n), 1e-11) {
+		t.Fatal("structured C1 differs from dense path")
+	}
+	if !c2s.EqualApprox(cs.View(bw, 0, m, n), 1e-11) {
+		t.Fatal("structured C2 differs from dense path")
+	}
+}
+
+func TestTTQRTMatchesDensePath(t *testing.T) {
+	// The structured triangle-on-triangle kernel must produce the same R
+	// and the same transformed C as the dense stacked QR (the reflectors
+	// are mathematically identical: zeros persist).
+	for _, bw := range []int{1, 3, 6, 12} {
+		r1 := upperTriRandom(bw, int64(bw))
+		r2 := upperTriRandom(bw, int64(bw+100))
+		c10 := matrix.Random(bw, 4, int64(bw+200))
+		c20 := matrix.Random(bw, 4, int64(bw+300))
+
+		// Structured path.
+		sr1, sr2 := r1.Clone(), r2.Clone()
+		tt := matrix.New(bw, bw)
+		TTQRT(sr1, sr2, tt)
+		c1s, c2s := c10.Clone(), c20.Clone()
+		TTMQRT(blas.Trans, sr2, tt, c1s, c2s)
+
+		// Dense path.
+		stack := matrix.New(2*bw, bw)
+		stack.View(0, 0, bw, bw).CopyFrom(r1)
+		stack.View(bw, 0, bw, bw).CopyFrom(r2)
+		tau := make([]float64, bw)
+		tmat := matrix.New(bw, bw)
+		GEQR3(stack, tau, tmat)
+		cs := matrix.New(2*bw, 4)
+		cs.View(0, 0, bw, 4).CopyFrom(c10)
+		cs.View(bw, 0, bw, 4).CopyFrom(c20)
+		Larfb(blas.Trans, stack, tmat, cs)
+
+		denseR := ExtractR(stack).View(0, 0, bw, bw)
+		if !sr1.EqualApprox(denseR, 1e-11) {
+			t.Fatalf("bw=%d: structured R differs from dense", bw)
+		}
+		if !c1s.EqualApprox(cs.View(0, 0, bw, 4), 1e-11) {
+			t.Fatalf("bw=%d: C1 differs", bw)
+		}
+		if !c2s.EqualApprox(cs.View(bw, 0, bw, 4), 1e-11) {
+			t.Fatalf("bw=%d: C2 differs", bw)
+		}
+	}
+}
+
+func TestTTQRTV2StaysTriangular(t *testing.T) {
+	bw := 8
+	r1 := upperTriRandom(bw, 1)
+	r2 := upperTriRandom(bw, 2)
+	tt := matrix.New(bw, bw)
+	TTQRT(r1, r2, tt)
+	// The reflector block overwrote R2 and must be upper triangular.
+	for j := 0; j < bw; j++ {
+		for i := j + 1; i < bw; i++ {
+			if r2.At(i, j) != 0 {
+				t.Fatalf("V2(%d,%d) = %v below the diagonal", i, j, r2.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTTMQRTRoundTrip(t *testing.T) {
+	bw, n := 5, 3
+	r1 := upperTriRandom(bw, 7)
+	r2 := upperTriRandom(bw, 8)
+	tt := matrix.New(bw, bw)
+	TTQRT(r1, r2, tt)
+	c1 := matrix.Random(bw, n, 9)
+	c2 := matrix.Random(bw, n, 10)
+	o1, o2 := c1.Clone(), c2.Clone()
+	TTMQRT(blas.Trans, r2, tt, c1, c2)
+	TTMQRT(blas.NoTrans, r2, tt, c1, c2)
+	if !c1.EqualApprox(o1, 1e-10) || !c2.EqualApprox(o2, 1e-10) {
+		t.Fatal("TTMQRT round trip failed")
+	}
+}

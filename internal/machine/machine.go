@@ -1,0 +1,165 @@
+// Package machine defines the calibrated multicore performance models used
+// to reproduce the paper's experiments at paper scale on hosts with fewer
+// cores.
+//
+// The reproduction substitutes the paper's testbeds (a dual-socket quad-core
+// Intel Xeon EMT64 at 2.50 GHz and a four-socket quad-core AMD Opteron at
+// 2.194 GHz) with virtual machines: each task of a factorization's task
+// graph is charged its canonical flop count divided by a per-kernel-class
+// rate, plus a fixed per-task dispatch overhead. The discrete-event list
+// scheduler in package simsched then executes the exact same task graphs the
+// real algorithms produce, preserving what the paper actually measures —
+// critical-path structure, synchronization counts, and the BLAS-2 vs BLAS-3
+// panel bottleneck that communication-avoiding algorithms remove.
+//
+// Rates are calibrated against the paper's own anchor points: MKL dgetrf
+// reaching ~61 GFlop/s on the 8-core Intel machine for 10000x10000 (Table
+// I), ACML topping out near 31 GFlop/s on the 16-core AMD machine (Table
+// II), and the BLAS-2 dgetf2 routine running an order of magnitude slower
+// than the blocked code on tall panels (Figs. 5-6).
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// Model is a virtual multicore machine.
+type Model struct {
+	// Name identifies the machine in reports.
+	Name string
+	// Cores is the number of virtual cores.
+	Cores int
+	// RateBLAS3 is the per-core asymptotic rate (flops/s) of compute-bound
+	// BLAS-3 kernels (dgemm, dtrsm, dlarfb).
+	RateBLAS3 float64
+	// RateRecursive is the per-core rate of the recursive panel kernels
+	// (rgetf2, dgeqr3): mostly BLAS-3 internally, but on narrow operands.
+	RateRecursive float64
+	// RateBLAS2 is the per-core rate of memory-bound BLAS-2 kernels
+	// (dgetf2, dgeqr2). This is the rate whose gap to RateBLAS3 makes the
+	// classic panel factorization the bottleneck the paper attacks.
+	RateBLAS2 float64
+	// RateSmall is the rate of tiny latency-bound tasks.
+	RateSmall float64
+	// MemPorts caps how many cores' worth of BLAS-2 bandwidth the memory
+	// system sustains: a BLAS-2 kernel parallelized over P cores speeds up
+	// by at most min(P, MemPorts).
+	MemPorts int
+	// TaskOverhead is the fixed dispatch cost per task (seconds),
+	// representing the dynamic scheduler's bookkeeping. The paper notes
+	// that with too many tasks "the time spent in the scheduling can
+	// become significant": this term is what makes that visible.
+	TaskOverhead float64
+	// GranularityFlops is the kernel size (flops) at which a BLAS-3 task
+	// reaches half its asymptotic rate; smaller tasks run proportionally
+	// slower (cache warm-up and edge effects on small tiles).
+	GranularityFlops float64
+	// CacheRows is the panel height below which BLAS-2/recursive panel
+	// kernels run out of cache at the boosted CacheBLAS2/CacheRecursive
+	// rates instead of the streaming RateBLAS2/RateRecursive.
+	CacheRows int
+	// CacheRecursive and CacheBLAS2 are the cache-resident panel rates.
+	CacheRecursive float64
+	CacheBLAS2     float64
+}
+
+// Intel8 models the paper's dual-socket quad-core Intel Xeon EMT64 machine
+// (8 cores at 2.50 GHz, 4 flops/cycle/core = 10 GFlop/s/core peak).
+func Intel8() *Model {
+	return &Model{
+		Name:             "8-core Intel Xeon EMT64 2.50GHz",
+		Cores:            8,
+		RateBLAS3:        8.6e9,  // MKL dgemm ~86% of peak
+		RateRecursive:    1.7e9,  // streaming recursive panel kernels
+		RateBLAS2:        0.95e9, // memory bound
+		RateSmall:        2.0e9,
+		MemPorts:         2,
+		TaskOverhead:     3.5e-5,
+		GranularityFlops: 1.1e6,
+		CacheRows:        4000,
+		CacheRecursive:   4.5e9,
+		CacheBLAS2:       3.5e9,
+	}
+}
+
+// AMD16 models the paper's four-socket quad-core AMD Opteron machine
+// (16 cores at 2.194 GHz, 4 flops/cycle/core = 8.8 GFlop/s/core peak).
+// Its vendor BLAS (ACML) is calibrated less efficient than MKL, as the
+// paper's Table II shows (ACML peaks near 31 GFlop/s, then *drops* as
+// square sizes grow — NUMA effects we fold into a lower asymptotic rate).
+func AMD16() *Model {
+	return &Model{
+		Name:             "16-core AMD Opteron 2.194GHz",
+		Cores:            16,
+		RateBLAS3:        3.2e9,
+		RateRecursive:    1.0e9,
+		RateBLAS2:        0.45e9,
+		RateSmall:        1.2e9,
+		MemPorts:         4,
+		TaskOverhead:     4.5e-5,
+		GranularityFlops: 1.0e6,
+		CacheRows:        2000,
+		CacheRecursive:   2.4e9,
+		CacheBLAS2:       1.6e9,
+	}
+}
+
+// WithCores returns a copy of the model restricted to p cores (for the
+// paper's Tr sweeps, which fix the machine and vary only the algorithm).
+func (m *Model) WithCores(p int) *Model {
+	c := *m
+	c.Cores = p
+	c.Name = fmt.Sprintf("%s (%d cores)", m.Name, p)
+	return &c
+}
+
+// Duration returns the virtual execution time of one task on one core.
+// Panel-class tasks (BLAS-2 and recursive) whose operand height fits in
+// cache (0 < Rows <= CacheRows) run at boosted cache-resident rates; tall
+// panels stream from memory at the base rates.
+func (m *Model) Duration(t *sched.Task) float64 {
+	f := t.Flops
+	cached := t.Rows > 0 && t.Rows <= m.CacheRows
+	var rate float64
+	switch t.Class {
+	case sched.ClassBLAS3:
+		rate = m.RateBLAS3 * f / (f + m.GranularityFlops)
+	case sched.ClassRecursive:
+		base := m.RateRecursive
+		if cached {
+			base = m.CacheRecursive
+		}
+		rate = base * f / (f + m.GranularityFlops/4)
+	case sched.ClassBLAS2:
+		rate = m.RateBLAS2
+		if cached {
+			rate = m.CacheBLAS2
+		}
+	default:
+		rate = m.RateSmall
+	}
+	if rate <= 0 || f <= 0 {
+		return m.TaskOverhead
+	}
+	return f/rate + m.TaskOverhead
+}
+
+// SequentialDuration models a single sequential routine of the given class
+// and flop count running on one core with no task system at all (used for
+// the vendor-library BLAS-2 baselines dgetf2/dgeqr2).
+func (m *Model) SequentialDuration(class sched.Class, flops float64) float64 {
+	t := sched.Task{Flops: flops, Class: class}
+	return m.Duration(&t) - m.TaskOverhead
+}
+
+// BLAS2ParallelRate returns the aggregate rate of a BLAS-2 operation
+// spread over p cores: bandwidth-capped at MemPorts cores' worth.
+func (m *Model) BLAS2ParallelRate(p int) float64 {
+	eff := min(p, m.MemPorts)
+	if eff < 1 {
+		eff = 1
+	}
+	return m.RateBLAS2 * float64(eff)
+}

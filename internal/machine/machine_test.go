@@ -1,0 +1,104 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestProfilesSane(t *testing.T) {
+	for _, m := range []*Model{Intel8(), AMD16()} {
+		if m.Cores < 1 || m.RateBLAS3 <= 0 || m.RateBLAS2 <= 0 || m.RateRecursive <= 0 {
+			t.Fatalf("%s: non-positive parameters: %+v", m.Name, m)
+		}
+		// The defining rate ordering of the paper's analysis.
+		if !(m.RateBLAS3 > m.RateRecursive && m.RateRecursive > m.RateBLAS2) {
+			t.Fatalf("%s: rate ordering broken", m.Name)
+		}
+		// Cache-resident panel kernels must be faster than streaming ones.
+		if m.CacheRecursive <= m.RateRecursive || m.CacheBLAS2 <= m.RateBLAS2 {
+			t.Fatalf("%s: cache rates not above streaming rates", m.Name)
+		}
+	}
+}
+
+func TestDurationMonotoneInFlops(t *testing.T) {
+	m := Intel8()
+	for _, class := range []sched.Class{sched.ClassBLAS2, sched.ClassBLAS3, sched.ClassRecursive, sched.ClassSmall} {
+		prev := 0.0
+		for _, f := range []float64{1e3, 1e5, 1e7, 1e9} {
+			d := m.Duration(&sched.Task{Flops: f, Class: class})
+			if d <= prev {
+				t.Fatalf("class %d: duration not increasing at %g flops", class, f)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestDurationCacheBoost(t *testing.T) {
+	m := Intel8()
+	flops := 1e8
+	tall := m.Duration(&sched.Task{Flops: flops, Class: sched.ClassRecursive, Rows: 100000})
+	short := m.Duration(&sched.Task{Flops: flops, Class: sched.ClassRecursive, Rows: 1000})
+	if short >= tall {
+		t.Fatalf("cache-resident panel not faster: %g vs %g", short, tall)
+	}
+	unknown := m.Duration(&sched.Task{Flops: flops, Class: sched.ClassRecursive})
+	if math.Abs(unknown-tall) > 1e-12 {
+		t.Fatalf("Rows=0 should behave as streaming: %g vs %g", unknown, tall)
+	}
+}
+
+func TestDurationZeroFlops(t *testing.T) {
+	m := Intel8()
+	if d := m.Duration(&sched.Task{}); d != m.TaskOverhead {
+		t.Fatalf("zero-flop task duration %g want overhead %g", d, m.TaskOverhead)
+	}
+}
+
+func TestGranularityPenalty(t *testing.T) {
+	m := Intel8()
+	// Effective rate of a task at exactly GranularityFlops must be half
+	// the asymptotic BLAS3 rate.
+	f := m.GranularityFlops
+	d := m.Duration(&sched.Task{Flops: f, Class: sched.ClassBLAS3}) - m.TaskOverhead
+	eff := f / d
+	if math.Abs(eff-m.RateBLAS3/2)/m.RateBLAS3 > 1e-9 {
+		t.Fatalf("half-rate point wrong: %g vs %g", eff, m.RateBLAS3/2)
+	}
+}
+
+func TestSequentialDuration(t *testing.T) {
+	m := Intel8()
+	d := m.SequentialDuration(sched.ClassBLAS2, 1e9)
+	want := 1e9 / m.RateBLAS2
+	if math.Abs(d-want)/want > 1e-12 {
+		t.Fatalf("sequential duration %g want %g", d, want)
+	}
+}
+
+func TestWithCoresIsolation(t *testing.T) {
+	base := AMD16()
+	sub := base.WithCores(4)
+	if sub.Cores != 4 || base.Cores != 16 {
+		t.Fatal("WithCores leaked into the base model")
+	}
+	if sub.RateBLAS3 != base.RateBLAS3 {
+		t.Fatal("WithCores changed rates")
+	}
+}
+
+func TestBLAS2ParallelRate(t *testing.T) {
+	m := AMD16() // MemPorts = 4
+	if r := m.BLAS2ParallelRate(1); r != m.RateBLAS2 {
+		t.Fatalf("1-core rate %g", r)
+	}
+	if r := m.BLAS2ParallelRate(16); r != 4*m.RateBLAS2 {
+		t.Fatalf("16-core rate %g not capped at 4 ports", r)
+	}
+	if r := m.BLAS2ParallelRate(0); r != m.RateBLAS2 {
+		t.Fatalf("0-core rate %g", r)
+	}
+}

@@ -1,0 +1,169 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG returns a deterministic pseudo-random source for the given seed.
+// All generators in this repository derive randomness from explicit seeds so
+// that every test, example and experiment is reproducible.
+func RNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Random returns an r x c matrix with entries uniform in [-1, 1).
+func Random(r, c int, seed int64) *Dense {
+	rng := RNG(seed)
+	m := New(r, c)
+	for j := 0; j < c; j++ {
+		col := m.Col(j)
+		for i := range col {
+			col[i] = 2*rng.Float64() - 1
+		}
+	}
+	return m
+}
+
+// RandomNormal returns an r x c matrix with standard normal entries.
+func RandomNormal(r, c int, seed int64) *Dense {
+	rng := RNG(seed)
+	m := New(r, c)
+	for j := 0; j < c; j++ {
+		col := m.Col(j)
+		for i := range col {
+			col[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+// DiagonallyDominant returns a random square matrix made strictly row
+// diagonally dominant, guaranteeing that LU factorization without pivoting
+// is stable and every pivot is nonzero.
+func DiagonallyDominant(n int, seed int64) *Dense {
+	m := Random(n, n, seed)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			sum += math.Abs(m.At(i, j))
+		}
+		m.Set(i, i, sum+1)
+	}
+	return m
+}
+
+// Wilkinson returns the classic n x n growth-factor matrix: 1 on the
+// diagonal, -1 strictly below, 1 in the last column. Partial pivoting on it
+// produces the worst-case element growth 2^(n-1); tournament pivoting is
+// expected to behave comparably in practice, which the stability experiments
+// check.
+func Wilkinson(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				m.Set(i, j, 1)
+			case j == n-1:
+				m.Set(i, j, 1)
+			case i > j:
+				m.Set(i, j, -1)
+			}
+		}
+	}
+	return m
+}
+
+// Graded returns a random matrix whose rows are scaled geometrically by
+// ratio^i, exercising pivoting decisions across widely varying magnitudes.
+func Graded(r, c int, ratio float64, seed int64) *Dense {
+	m := Random(r, c, seed)
+	scale := 1.0
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, m.At(i, j)*scale)
+		}
+		scale *= ratio
+	}
+	return m
+}
+
+// NearSingular returns a random r x c matrix whose last column is a tiny
+// perturbation of a linear combination of the others, giving a large
+// condition number without exact singularity.
+func NearSingular(r, c int, eps float64, seed int64) *Dense {
+	if c < 2 {
+		return Random(r, c, seed)
+	}
+	m := Random(r, c, seed)
+	rng := RNG(seed + 1)
+	last := m.Col(c - 1)
+	for i := range last {
+		last[i] = 0
+	}
+	for j := 0; j < c-1; j++ {
+		w := rng.Float64()
+		col := m.Col(j)
+		for i := range last {
+			last[i] += w * col[i]
+		}
+	}
+	for i := range last {
+		last[i] += eps * (2*rng.Float64() - 1)
+	}
+	return m
+}
+
+// Orthogonalish returns a tall-and-skinny matrix whose columns are nearly
+// orthonormal (random matrix with re-scaled columns), a typical input for
+// block-iterative orthogonalization workloads.
+func Orthogonalish(r, c int, seed int64) *Dense {
+	m := RandomNormal(r, c, seed)
+	for j := 0; j < c; j++ {
+		col := m.Col(j)
+		norm := 0.0
+		for _, v := range col {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		for i := range col {
+			col[i] /= norm
+		}
+	}
+	return m
+}
+
+// Kahan returns the n x n Kahan matrix with parameter theta: an upper
+// triangular matrix R(i,j) = -cos(theta) * s^i for j > i, s^i on the
+// diagonal (s = sin(theta)). It is the classic example where QR with
+// column pivoting misjudges rank; here it exercises the QR paths with a
+// graded, ill-conditioned triangle.
+func Kahan(n int, theta float64) *Dense {
+	s, c := math.Sin(theta), math.Cos(theta)
+	m := New(n, n)
+	scale := 1.0
+	for i := 0; i < n; i++ {
+		m.Set(i, i, scale)
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, -c*scale)
+		}
+		scale *= s
+	}
+	return m
+}
+
+// Hilbert returns the n x n Hilbert matrix H(i,j) = 1/(i+j+1), the
+// canonical ill-conditioned symmetric positive definite test matrix.
+func Hilbert(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, 1/float64(i+j+1))
+		}
+	}
+	return m
+}

@@ -1,0 +1,153 @@
+package mixed
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+)
+
+func TestConversionRoundTrip(t *testing.T) {
+	a := matrix.Random(10, 7, 1)
+	back := FromDense(a).ToDense()
+	// float32 keeps ~7 digits.
+	if !back.EqualApprox(a, 1e-6) {
+		t.Fatal("f32 round trip lost too much")
+	}
+}
+
+func TestGETRF32MatchesF64Pivots(t *testing.T) {
+	// On a well-scaled matrix, the f32 factorization should pick the same
+	// pivots as the f64 one (max-magnitude selection is robust to rounding
+	// except for near-ties).
+	orig := matrix.DiagonallyDominant(32, 2)
+	lu64 := orig.Clone()
+	p64 := make([]int, 32)
+	if err := lapack.GETRF(lu64, p64, 8); err != nil {
+		t.Fatal(err)
+	}
+	lu32 := FromDense(orig)
+	p32 := make([]int, 32)
+	if err := GETRF32(lu32, p32, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Diagonal dominance means no swaps at all in both.
+	for i := range p64 {
+		if p64[i] != i || p32[i] != i {
+			t.Fatalf("unexpected pivoting: f64 %v f32 %v at %d", p64[i], p32[i], i)
+		}
+	}
+	// Factor values agree to f32 accuracy.
+	if !lu32.ToDense().EqualApprox(lu64, 1e-4*lu64.MaxAbs()) {
+		t.Fatal("f32 factor far from f64 factor")
+	}
+}
+
+func TestGETRF32Residual(t *testing.T) {
+	// P A = L U in float32 arithmetic: residual at f32 level.
+	for _, tc := range []struct{ n, nb int }{{16, 4}, {50, 8}, {33, 64}} {
+		orig := matrix.Random(tc.n, tc.n, int64(tc.n))
+		lu := FromDense(orig)
+		ipiv := make([]int, tc.n)
+		if err := GETRF32(lu, ipiv, tc.nb); err != nil {
+			t.Fatal(err)
+		}
+		lu64 := lu.ToDense()
+		l, u := lapack.ExtractLU(lu64)
+		prod := blas.Mul(blas.NoTrans, blas.NoTrans, l, u)
+		pa := orig.Clone()
+		lapack.LASWP(pa, ipiv, 0, tc.n)
+		if !pa.EqualApprox(prod, 1e-4*float64(tc.n)) {
+			t.Fatalf("n=%d nb=%d: f32 residual too large", tc.n, tc.nb)
+		}
+	}
+}
+
+func TestSolveReachesDoublePrecision(t *testing.T) {
+	// Well-conditioned system: the refined solution must be f64-accurate,
+	// far beyond what float32 alone can deliver.
+	n := 200
+	a := matrix.DiagonallyDominant(n, 5)
+	xWant := matrix.Random(n, 1, 6)
+	b := blas.Mul(blas.NoTrans, blas.NoTrans, a, xWant)
+
+	res, err := Solve(a, b, 10)
+	if err != nil {
+		t.Fatalf("Solve: %v (after %d iters, resid %g)", err, res.Iterations, res.Residual)
+	}
+	maxErr := 0.0
+	for i := 0; i < n; i++ {
+		maxErr = math.Max(maxErr, math.Abs(b.At(i, 0)-xWant.At(i, 0)))
+	}
+	if maxErr > 1e-12 {
+		t.Fatalf("refined error %g not at double precision (iters %d)", maxErr, res.Iterations)
+	}
+	if res.Iterations > 6 {
+		t.Fatalf("took %d refinement steps", res.Iterations)
+	}
+	// A pure f32 solve could never do better than ~1e-5 relative — make
+	// sure refinement actually beat it by orders of magnitude.
+	if maxErr > 1e-9 {
+		t.Fatalf("error %g not clearly better than f32-only", maxErr)
+	}
+}
+
+func TestSolveRandomSystems(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		n := 80
+		a := matrix.Random(n, n, seed)
+		// Shift the diagonal to keep the condition number moderate.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+8)
+		}
+		xWant := matrix.Random(n, 1, seed+100)
+		b := blas.Mul(blas.NoTrans, blas.NoTrans, a, xWant)
+		if _, err := Solve(a, b, 10); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !b.EqualApprox(xWant, 1e-10) {
+			t.Fatalf("seed %d: inaccurate", seed)
+		}
+	}
+}
+
+func TestSolveIllConditionedFails(t *testing.T) {
+	// Condition number far above 1/eps32: refinement must report failure
+	// rather than silently returning garbage.
+	n := 64
+	a := matrix.NearSingular(n, n, 1e-12, 7)
+	b := matrix.Random(n, 1, 8)
+	if _, err := Solve(a, b.Clone(), 10); !errors.Is(err, ErrNoConvergence) && !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected convergence failure, got %v", err)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := matrix.New(8, 8)
+	b := matrix.Random(8, 1, 9)
+	if _, err := Solve(a, b, 5); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestGETRF32RectangularPanels(t *testing.T) {
+	// Tall matrix (the panel shape): factorization must stay consistent.
+	m, n := 120, 24
+	orig := matrix.Random(m, n, 10)
+	lu := FromDense(orig)
+	ipiv := make([]int, n)
+	if err := GETRF32(lu, ipiv, 8); err != nil {
+		t.Fatal(err)
+	}
+	lu64 := lu.ToDense()
+	l, u := lapack.ExtractLU(lu64)
+	prod := blas.Mul(blas.NoTrans, blas.NoTrans, l, u)
+	pa := orig.Clone()
+	lapack.LASWP(pa, ipiv, 0, n)
+	if !pa.EqualApprox(prod, 1e-4*float64(m)) {
+		t.Fatal("tall f32 factorization residual too large")
+	}
+}

@@ -1,0 +1,111 @@
+package ooc
+
+import "testing"
+
+func TestCacheHitsAndEviction(t *testing.T) {
+	c := NewCache(100)
+	c.Touch(1, 60)
+	if c.Moved != 60 || c.Hits != 0 {
+		t.Fatalf("first touch: moved %d hits %d", c.Moved, c.Hits)
+	}
+	c.Touch(1, 60) // resident
+	if c.Hits != 1 || c.Moved != 60 {
+		t.Fatalf("re-touch: moved %d hits %d", c.Moved, c.Hits)
+	}
+	c.Touch(2, 60) // evicts 1
+	if c.Moved != 120 {
+		t.Fatalf("after eviction: moved %d", c.Moved)
+	}
+	c.Touch(1, 60) // 1 was evicted: miss again
+	if c.Moved != 180 {
+		t.Fatalf("re-load: moved %d", c.Moved)
+	}
+	if c.Resident() != 60 {
+		t.Fatalf("resident %d", c.Resident())
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := NewCache(100)
+	c.Touch(1, 40)
+	c.Touch(2, 40)
+	c.Touch(1, 40) // refresh 1: 2 becomes LRU
+	c.Touch(3, 40) // evicts 2
+	c.Touch(1, 40)
+	if c.Hits != 2 { // the refresh and the last touch of 1
+		t.Fatalf("hits %d", c.Hits)
+	}
+	c.Touch(2, 40) // must be a miss
+	if c.Moved != 40*4 {
+		t.Fatalf("moved %d", c.Moved)
+	}
+}
+
+func TestOversizedBlockStreams(t *testing.T) {
+	c := NewCache(10)
+	c.Touch(1, 100)
+	c.Touch(1, 100)
+	if c.Moved != 200 || c.Hits != 0 {
+		t.Fatalf("oversized: moved %d hits %d", c.Moved, c.Hits)
+	}
+	if c.Resident() != 0 {
+		t.Fatal("oversized block should not be resident")
+	}
+}
+
+// TestSequentialOptimalityGap is the paper's Section II sequential claim in
+// numbers: on a panel that exceeds fast memory, flat-tree TSLU moves ~m*b
+// words (one streaming pass) while column-wise GEPP moves ~b*m*b.
+func TestSequentialOptimalityGap(t *testing.T) {
+	m, b, rows := 100000, 100, 12500 // 8 blocks of 12500x100
+	panelWords := int64(m) * int64(b)
+	cacheWords := panelWords / 10 // fast memory holds 10% of the panel
+
+	tslu := NewCache(cacheWords)
+	PanelTraceTSLU(tslu, m, b, rows)
+	// One compulsory pass plus the candidate stacks.
+	if tslu.Moved > panelWords+int64(8*b*b) {
+		t.Fatalf("TSLU moved %d words, want about %d", tslu.Moved, panelWords)
+	}
+
+	gepp := NewCache(cacheWords)
+	PanelTraceGEPP(gepp, m, b, rows)
+	// b passes over an uncacheable panel.
+	if gepp.Moved < int64(b)*panelWords*9/10 {
+		t.Fatalf("GEPP moved %d words, want about %d", gepp.Moved, int64(b)*panelWords)
+	}
+
+	ratio := float64(gepp.Moved) / float64(tslu.Moved)
+	if ratio < float64(b)/2 {
+		t.Fatalf("sequential I/O gap only %.1fx, want ~b = %d", ratio, b)
+	}
+	t.Logf("words moved: TSLU %d vs GEPP %d (%.0fx)", tslu.Moved, gepp.Moved, ratio)
+}
+
+// TestBlockedGEPPBetweenExtremes: a blocked panel (inner width nb) moves
+// ~(b/nb) passes — between TSLU's 1 and unblocked GEPP's b.
+func TestBlockedGEPPBetweenExtremes(t *testing.T) {
+	m, b, rows, nb := 100000, 100, 12500, 25
+	cacheWords := int64(m) * int64(b) / 10
+
+	blocked := NewCache(cacheWords)
+	PanelTraceBlockedGEPP(blocked, m, b, rows, nb)
+	wantPasses := int64(b / nb)
+	panelWords := int64(m) * int64(b)
+	if blocked.Moved < wantPasses*panelWords*9/10 || blocked.Moved > wantPasses*panelWords*11/10 {
+		t.Fatalf("blocked GEPP moved %d, want ~%d", blocked.Moved, wantPasses*panelWords)
+	}
+}
+
+// TestCacheResidentPanelIsFree: when the panel fits in fast memory, even
+// column-wise GEPP pays only the compulsory pass — the regime where the
+// classic algorithm is fine, matching the paper's square-matrix results.
+func TestCacheResidentPanelIsFree(t *testing.T) {
+	m, b, rows := 4000, 100, 500
+	panelWords := int64(m) * int64(b)
+	c := NewCache(2 * panelWords)
+	PanelTraceGEPP(c, m, b, rows)
+	if c.Moved != panelWords {
+		t.Fatalf("resident panel moved %d, want compulsory %d", c.Moved, panelWords)
+	}
+}

@@ -1,0 +1,169 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Event records one task execution for tracing (paper Figs. 3-4).
+type Event struct {
+	TaskID int
+	Worker int
+	Start  time.Duration // relative to the run start
+	End    time.Duration
+}
+
+// taskHeap is a max-heap over task priority; ties break toward lower ID,
+// which keeps execution order deterministic for equal priorities and favors
+// earlier-created (earlier-iteration) tasks as the paper's look-ahead does.
+type taskHeap []*Task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	return h[i].ID < h[j].ID
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(*Task)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// Runner executes task graphs on a pool of goroutine workers with dynamic,
+// priority-driven scheduling: whenever a worker is free it picks the
+// highest-priority ready task, exactly as the paper's dynamic scheduler
+// does.
+type Runner struct {
+	// Workers is the number of concurrent goroutines; it plays the role of
+	// the number of cores. Must be >= 1.
+	Workers int
+	// Trace, when true, records an Event per task.
+	Trace bool
+}
+
+// Run executes every task in g and returns the trace (nil unless Trace is
+// set). It panics if the graph fails validation, since a malformed graph is
+// a bug in the algorithm that built it.
+//
+// If a task's Run panics, the panic is captured, remaining work is drained
+// without executing further tasks, and the panic is re-raised on the
+// caller's goroutine once all workers have stopped — so a numeric bug
+// surfaces as a normal panic at the Run call site rather than crashing an
+// anonymous worker goroutine.
+func (r *Runner) Run(g *Graph) []Event {
+	if r.Workers < 1 {
+		panic(fmt.Sprintf("sched: %d workers", r.Workers))
+	}
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	n := g.Len()
+	if n == 0 {
+		return nil
+	}
+
+	var (
+		mu      sync.Mutex
+		cond    = sync.NewCond(&mu)
+		ready   taskHeap
+		deps    = make([]int, n)
+		pending = n
+		aborted any // first captured task panic
+	)
+	for i, t := range g.tasks {
+		deps[i] = t.ndeps
+		if t.ndeps == 0 {
+			ready = append(ready, t)
+		}
+	}
+	heap.Init(&ready)
+
+	var events []Event
+	if r.Trace {
+		events = make([]Event, 0, n)
+	}
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	wg.Add(r.Workers)
+	for w := 0; w < r.Workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			mu.Lock()
+			for {
+				for len(ready) == 0 && pending > 0 {
+					cond.Wait()
+				}
+				if pending == 0 {
+					mu.Unlock()
+					cond.Broadcast()
+					return
+				}
+				t := heap.Pop(&ready).(*Task)
+				skip := aborted != nil
+				mu.Unlock()
+
+				t0 := time.Since(start)
+				if t.Run != nil && !skip {
+					if p := runTask(t); p != nil {
+						mu.Lock()
+						if aborted == nil {
+							aborted = p
+						}
+						mu.Unlock()
+					}
+				}
+				t1 := time.Since(start)
+
+				mu.Lock()
+				if r.Trace {
+					events = append(events, Event{TaskID: t.ID, Worker: worker, Start: t0, End: t1})
+				}
+				pending--
+				woke := false
+				for _, s := range t.succs {
+					deps[s]--
+					if deps[s] == 0 {
+						heap.Push(&ready, g.tasks[s])
+						woke = true
+					}
+				}
+				if woke || pending == 0 {
+					cond.Broadcast()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if aborted != nil {
+		panic(aborted)
+	}
+	return events
+}
+
+// runTask executes one task, converting a panic into a returned value.
+func runTask(t *Task) (captured any) {
+	defer func() {
+		if p := recover(); p != nil {
+			captured = fmt.Errorf("sched: task %d (%s) panicked: %v", t.ID, t.Label, p)
+		}
+	}()
+	t.Run()
+	return nil
+}
+
+// RunSequential executes the graph on the calling goroutine in priority
+// order. Useful in tests to check graph-order independence of results.
+func RunSequential(g *Graph) {
+	r := Runner{Workers: 1}
+	r.Run(g)
+}

@@ -1,0 +1,197 @@
+package simsched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// testModel returns a trivial machine: 1 flop/s for every class, no
+// overhead, so durations equal flop counts.
+func testModel(cores int) *machine.Model {
+	return &machine.Model{
+		Name: "unit", Cores: cores,
+		RateBLAS3: 1, RateRecursive: 1, RateBLAS2: 1, RateSmall: 1,
+		MemPorts: 1, TaskOverhead: 0, GranularityFlops: 0,
+	}
+}
+
+func unitTask(g *sched.Graph, flops float64) *sched.Task {
+	return g.Add(&sched.Task{Flops: flops, Class: sched.ClassBLAS2})
+}
+
+func TestRunChainIsSequential(t *testing.T) {
+	g := sched.NewGraph()
+	var prev *sched.Task
+	for i := 0; i < 5; i++ {
+		cur := unitTask(g, 2)
+		if prev != nil {
+			g.AddDep(prev, cur)
+		}
+		prev = cur
+	}
+	res := Run(g, testModel(4))
+	if res.Makespan != 10 {
+		t.Fatalf("makespan = %v want 10", res.Makespan)
+	}
+	if res.TotalFlops != 10 {
+		t.Fatalf("total flops = %v", res.TotalFlops)
+	}
+}
+
+func TestRunIndependentTasksParallel(t *testing.T) {
+	g := sched.NewGraph()
+	for i := 0; i < 8; i++ {
+		unitTask(g, 3)
+	}
+	if res := Run(g, testModel(4)); res.Makespan != 6 {
+		t.Fatalf("8 tasks on 4 cores: makespan %v want 6", res.Makespan)
+	}
+	if res := Run(g, testModel(8)); res.Makespan != 3 {
+		t.Fatalf("8 tasks on 8 cores: makespan %v want 3", res.Makespan)
+	}
+	if res := Run(g, testModel(1)); res.Makespan != 24 {
+		t.Fatalf("8 tasks on 1 core: makespan %v want 24", res.Makespan)
+	}
+}
+
+func TestRunRespectsPriorities(t *testing.T) {
+	// One core; the high-priority task must be first in the event order.
+	g := sched.NewGraph()
+	lo := g.Add(&sched.Task{Flops: 1, Class: sched.ClassBLAS2, Priority: 1})
+	hi := g.Add(&sched.Task{Flops: 1, Class: sched.ClassBLAS2, Priority: 9})
+	res := Run(g, testModel(1))
+	if res.Events[0].TaskID != hi.ID || res.Events[1].TaskID != lo.ID {
+		t.Fatalf("priority order violated: %+v", res.Events)
+	}
+}
+
+func TestRunDiamondDependency(t *testing.T) {
+	// a(1) -> b(5), c(1) -> d(1): span = 1+5+1 = 7 on 2 cores.
+	g := sched.NewGraph()
+	a := unitTask(g, 1)
+	b := unitTask(g, 5)
+	c := unitTask(g, 1)
+	d := unitTask(g, 1)
+	g.AddDep(a, b)
+	g.AddDep(a, c)
+	g.AddDep(b, d)
+	g.AddDep(c, d)
+	res := Run(g, testModel(2))
+	if res.Makespan != 7 {
+		t.Fatalf("makespan = %v want 7", res.Makespan)
+	}
+}
+
+func TestRunBusyAccounting(t *testing.T) {
+	g := sched.NewGraph()
+	for i := 0; i < 6; i++ {
+		unitTask(g, 4)
+	}
+	res := Run(g, testModel(3))
+	sum := 0.0
+	for _, b := range res.Busy {
+		sum += b
+	}
+	if sum != 24 {
+		t.Fatalf("busy sum = %v want 24", sum)
+	}
+	if u := res.Utilization(); math.Abs(u-1) > 1e-12 {
+		t.Fatalf("utilization = %v want 1", u)
+	}
+}
+
+func TestRunEventsConsistent(t *testing.T) {
+	g := sched.NewGraph()
+	tasks := make([]*sched.Task, 20)
+	for i := range tasks {
+		tasks[i] = unitTask(g, float64(i%3+1))
+	}
+	for i := 5; i < 20; i++ {
+		g.AddDep(tasks[i-5], tasks[i])
+	}
+	res := Run(g, testModel(3))
+	if len(res.Events) != 20 {
+		t.Fatalf("%d events", len(res.Events))
+	}
+	// No two events on the same core may overlap.
+	for i, e1 := range res.Events {
+		for _, e2 := range res.Events[i+1:] {
+			if e1.Core == e2.Core && e1.Start < e2.End && e2.Start < e1.End {
+				t.Fatalf("core %d overlap: %+v %+v", e1.Core, e1, e2)
+			}
+		}
+	}
+	// Dependencies respected in virtual time.
+	end := make(map[int]float64)
+	for _, e := range res.Events {
+		end[e.TaskID] = e.End
+	}
+	start := make(map[int]float64)
+	for _, e := range res.Events {
+		start[e.TaskID] = e.Start
+	}
+	for i := 5; i < 20; i++ {
+		if start[tasks[i].ID] < end[tasks[i-5].ID]-1e-12 {
+			t.Fatalf("task %d started before dep finished", i)
+		}
+	}
+}
+
+func TestRunEmptyGraph(t *testing.T) {
+	res := Run(sched.NewGraph(), testModel(2))
+	if res.Makespan != 0 || len(res.Events) != 0 {
+		t.Fatalf("empty graph: %+v", res)
+	}
+}
+
+func TestGFlops(t *testing.T) {
+	r := &Result{Makespan: 2}
+	if g := r.GFlops(4e9); g != 2 {
+		t.Fatalf("GFlops = %v", g)
+	}
+	zero := &Result{}
+	if zero.GFlops(1) != 0 {
+		t.Fatal("zero makespan must give 0")
+	}
+}
+
+func TestMachineDurationClasses(t *testing.T) {
+	m := machine.Intel8()
+	// BLAS3 must be much faster than BLAS2 for the same flops.
+	big := 1e9
+	d3 := m.Duration(&sched.Task{Flops: big, Class: sched.ClassBLAS3})
+	d2 := m.Duration(&sched.Task{Flops: big, Class: sched.ClassBLAS2})
+	dr := m.Duration(&sched.Task{Flops: big, Class: sched.ClassRecursive})
+	if !(d3 < dr && dr < d2) {
+		t.Fatalf("expected BLAS3 < recursive < BLAS2, got %v %v %v", d3, dr, d2)
+	}
+	// Granularity: a tiny BLAS3 task runs at well under the asymptotic rate.
+	small := 1e5
+	dSmall := m.Duration(&sched.Task{Flops: small, Class: sched.ClassBLAS3})
+	effRate := small / (dSmall - m.TaskOverhead)
+	if effRate > m.RateBLAS3/5 {
+		t.Fatalf("small-task rate %v not penalized (asymptotic %v)", effRate, m.RateBLAS3)
+	}
+}
+
+func TestMachineWithCores(t *testing.T) {
+	m := machine.Intel8().WithCores(4)
+	if m.Cores != 4 {
+		t.Fatalf("cores = %d", m.Cores)
+	}
+	if machine.Intel8().Cores != 8 {
+		t.Fatal("WithCores mutated the base model")
+	}
+}
+
+func TestMachineBLAS2ParallelRateCapped(t *testing.T) {
+	m := machine.Intel8()
+	r1 := m.BLAS2ParallelRate(1)
+	r8 := m.BLAS2ParallelRate(8)
+	if r8 > float64(m.MemPorts)*r1+1e-9 {
+		t.Fatalf("BLAS2 rate not capped: %v vs %v", r8, r1)
+	}
+}

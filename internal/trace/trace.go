@@ -1,0 +1,171 @@
+// Package trace renders execution traces of the factorization task graphs
+// as text Gantt charts and CSV, reproducing the paper's Figures 3 and 4:
+// per-core timelines in which the panel factorization (P), the panel's L
+// computation (L), the U row (U) and the trailing-matrix update (S) are
+// distinguishable, making panel-induced idle time visible.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/sched"
+	"repro/internal/simsched"
+)
+
+// Span is one task execution on one worker, in seconds.
+type Span struct {
+	Worker int
+	Start  float64
+	End    float64
+	Kind   sched.Kind
+	Label  string
+}
+
+// Trace is a complete execution record.
+type Trace struct {
+	Spans   []Span
+	Workers int
+	// Makespan is the end of the last span.
+	Makespan float64
+}
+
+// FromSched converts the real runner's wall-clock events.
+func FromSched(events []sched.Event, g *sched.Graph, workers int) *Trace {
+	t := &Trace{Workers: workers}
+	for _, e := range events {
+		task := g.Task(e.TaskID)
+		s := Span{
+			Worker: e.Worker,
+			Start:  e.Start.Seconds(),
+			End:    e.End.Seconds(),
+			Kind:   task.Kind,
+			Label:  task.Label,
+		}
+		t.Spans = append(t.Spans, s)
+		if s.End > t.Makespan {
+			t.Makespan = s.End
+		}
+	}
+	t.sort()
+	return t
+}
+
+// FromSim converts the virtual-time simulator's events.
+func FromSim(events []simsched.Event, g *sched.Graph, cores int) *Trace {
+	t := &Trace{Workers: cores}
+	for _, e := range events {
+		task := g.Task(e.TaskID)
+		s := Span{Worker: e.Core, Start: e.Start, End: e.End, Kind: task.Kind, Label: task.Label}
+		t.Spans = append(t.Spans, s)
+		if s.End > t.Makespan {
+			t.Makespan = s.End
+		}
+	}
+	t.sort()
+	return t
+}
+
+func (t *Trace) sort() {
+	sort.Slice(t.Spans, func(i, j int) bool {
+		if t.Spans[i].Worker != t.Spans[j].Worker {
+			return t.Spans[i].Worker < t.Spans[j].Worker
+		}
+		return t.Spans[i].Start < t.Spans[j].Start
+	})
+}
+
+// Stats aggregates busy time by task kind plus idle time, as fractions of
+// workers * makespan. The paper's Fig. 3 vs Fig. 4 comparison is exactly
+// "how much idle time does Tr=1 cause vs Tr=8".
+type Stats struct {
+	// BusyByKind maps P/L/U/S to the fraction of total core-time spent in
+	// tasks of that kind.
+	BusyByKind map[sched.Kind]float64
+	// Idle is the fraction of total core-time no task was running.
+	Idle float64
+}
+
+// Stats computes the aggregate statistics of the trace.
+func (t *Trace) Stats() Stats {
+	s := Stats{BusyByKind: map[sched.Kind]float64{}}
+	if t.Makespan <= 0 || t.Workers == 0 {
+		s.Idle = 1
+		return s
+	}
+	total := t.Makespan * float64(t.Workers)
+	busy := 0.0
+	for _, sp := range t.Spans {
+		d := sp.End - sp.Start
+		s.BusyByKind[sp.Kind] += d / total
+		busy += d
+	}
+	s.Idle = 1 - busy/total
+	return s
+}
+
+// Gantt renders the trace as a text chart of the given width: one row per
+// worker, one character per time bucket — P, L, U, S for the dominant task
+// kind in that bucket, '.' for idle.
+func (t *Trace) Gantt(w io.Writer, width int) {
+	if width < 10 {
+		width = 10
+	}
+	if t.Makespan <= 0 {
+		fmt.Fprintln(w, "(empty trace)")
+		return
+	}
+	dt := t.Makespan / float64(width)
+	for worker := 0; worker < t.Workers; worker++ {
+		// For each bucket, pick the kind that occupies the most time.
+		occupancy := make([]map[sched.Kind]float64, width)
+		for _, sp := range t.Spans {
+			if sp.Worker != worker {
+				continue
+			}
+			b0 := int(sp.Start / dt)
+			b1 := int(sp.End / dt)
+			if b1 >= width {
+				b1 = width - 1
+			}
+			for b := b0; b <= b1; b++ {
+				lo := float64(b) * dt
+				hi := lo + dt
+				overlap := min(sp.End, hi) - max(sp.Start, lo)
+				if overlap <= 0 {
+					continue
+				}
+				if occupancy[b] == nil {
+					occupancy[b] = map[sched.Kind]float64{}
+				}
+				occupancy[b][sp.Kind] += overlap
+			}
+		}
+		var row strings.Builder
+		for b := 0; b < width; b++ {
+			ch := "."
+			best := 0.0
+			for kind, occ := range occupancy[b] {
+				if occ > best {
+					best = occ
+					ch = kind.String()
+				}
+			}
+			row.WriteString(ch)
+		}
+		fmt.Fprintf(w, "core %2d |%s|\n", worker, row.String())
+	}
+	fmt.Fprintf(w, "        %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(w, "        0%*s\n", width, fmt.Sprintf("%.4gs", t.Makespan))
+}
+
+// WriteCSV emits the raw spans as CSV (worker,start,end,kind,label).
+func (t *Trace) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, "worker,start,end,kind,label")
+	for _, sp := range t.Spans {
+		label := strings.ReplaceAll(sp.Label, ",", ";")
+		fmt.Fprintf(w, "%d,%.9f,%.9f,%s,%s\n", sp.Worker, sp.Start, sp.End, sp.Kind, label)
+	}
+}
