@@ -252,7 +252,9 @@ func BenchmarkMeasuredCAQRSquare(b *testing.B) {
 		b.StopTimer()
 		a := orig.Clone()
 		b.StartTimer()
-		core.CAQR(a, opt)
+		if _, err := core.CAQR(a, opt); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(canon*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlop/s")
 }
@@ -329,4 +331,42 @@ func BenchmarkParity(b *testing.B) {
 	benchExperiment(b, "parity", map[string][2]string{
 		"mean-rel-dev": {"MEAN", "rel-dev"},
 	})
+}
+
+// BenchmarkOneShot and BenchmarkEngineReuse compare the per-call cost of
+// the one-shot public API (a private worker pool per factorization) against
+// a persistent factor.Engine (one shared pool reused across calls) on the
+// same repeated 1000 x 200 CALU. The interesting column is allocs/op: the
+// engine saves the per-call pool construction, goroutine spawn/teardown and
+// — via the scratch pools warmed by earlier calls — most panel workspaces.
+func BenchmarkOneShot(b *testing.B) {
+	orig := factor.Random(1000, 200, 3)
+	opt := factor.Options{BlockSize: 100, PanelThreads: 4, Workers: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := orig.Clone()
+		b.StartTimer()
+		if _, err := factor.LU(a, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineReuse(b *testing.B) {
+	orig := factor.Random(1000, 200, 3)
+	opt := factor.Options{BlockSize: 100, PanelThreads: 4}
+	eng := factor.NewEngine(4)
+	defer eng.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := orig.Clone()
+		b.StartTimer()
+		if _, err := eng.LU(a, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

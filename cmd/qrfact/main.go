@@ -52,7 +52,11 @@ func main() {
 	switch *alg {
 	case "caqr":
 		opt := core.Options{BlockSize: *b, PanelThreads: *tr, Tree: tree, Workers: *workers, Lookahead: true}
-		res := core.CAQR(a, opt)
+		res, err := core.CAQR(a, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "factorization:", err)
+			os.Exit(1)
+		}
 		elapsedReport(start, *m, *n)
 		q, r = res.ExplicitQ(), res.R()
 	case "tsqr":

@@ -64,7 +64,11 @@ func main() {
 		var events []sched.Event
 		var graph *sched.Graph
 		if *alg == "caqr" {
-			res := core.CAQR(a, opt)
+			res, err := core.CAQR(a, opt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "factorization:", err)
+				os.Exit(1)
+			}
 			events, graph = res.Events, res.Graph
 		} else {
 			res, err := core.CALU(a, opt)

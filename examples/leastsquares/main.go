@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math"
 	"math/rand"
 
@@ -59,7 +60,10 @@ func main() {
 	}
 
 	design := a.Clone()
-	qr := factor.QR(a, factor.Options{PanelThreads: 8})
+	qr, err := factor.QR(a, factor.Options{PanelThreads: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
 	x := qr.LeastSquares(b.Clone())
 
 	fmt.Println("coefficient   truth     estimate   error")

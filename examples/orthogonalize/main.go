@@ -14,6 +14,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math"
 
 	"repro/factor"
@@ -66,7 +67,10 @@ func main() {
 // span using communication-avoiding QR (Q overwrites v).
 func orthonormalize(v *factor.Matrix) {
 	work := v.Clone()
-	qr := factor.QR(work, factor.Options{PanelThreads: 8, BlockSize: blockSize})
+	qr, err := factor.QR(work, factor.Options{PanelThreads: 8, BlockSize: blockSize})
+	if err != nil {
+		log.Fatal(err)
+	}
 	v.CopyFrom(qr.Q())
 }
 

@@ -32,7 +32,10 @@ func main() {
 	m := 2000
 	ts := factor.Random(m, 50, 9) // tall and skinny: CAQR's home turf
 	tsOrig := ts.Clone()
-	qr := factor.QR(ts, factor.Options{PanelThreads: 4})
+	qr, err := factor.QR(ts, factor.Options{PanelThreads: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	q, r := qr.Q(), qr.R()
 	fmt.Printf("CAQR:         ||A - QR||_max = %.3g\n", maxDiff(mul(q, r), tsOrig))

@@ -1,0 +1,82 @@
+package factor
+
+import (
+	"errors"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// ErrEngineClosed is returned by Engine.LU and Engine.QR after Close.
+var ErrEngineClosed = errors.New("factor: engine is closed")
+
+// Engine is a persistent factorization service: one fixed pool of worker
+// goroutines, started by NewEngine and reused by every LU and QR call until
+// Close. Calls may be issued concurrently from any number of goroutines;
+// each factorization is an independent submission to the shared pool, with
+// its own priority space, trace and error capture, so a failure (or a
+// panicking task) in one request never affects the others or the pool.
+//
+// Compared with the package-level LU/QR — which build and tear down a
+// private pool per call — an Engine avoids the per-request goroutine spawn
+// and teardown, which matters when factoring many small matrices.
+type Engine struct {
+	pool    *sched.Pool
+	workers int
+}
+
+// NewEngine starts an engine with the given number of worker goroutines
+// (<= 0 means GOMAXPROCS). The caller owns the engine and must Close it to
+// release the workers.
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{pool: sched.NewPool(workers), workers: workers}
+}
+
+// Workers returns the size of the engine's worker pool.
+func (e *Engine) Workers() int { return e.workers }
+
+// Close shuts the engine down: in-flight factorizations complete, the
+// workers exit, and subsequent LU/QR calls fail with ErrEngineClosed.
+// Close is idempotent.
+func (e *Engine) Close() { e.pool.Close() }
+
+// engineOptions pins the scheduling knobs the engine owns: the worker
+// count is the pool's, not the caller's.
+func (e *Engine) engineOptions(opt Options) core.Options {
+	opt.Workers = e.workers
+	return opt.internal()
+}
+
+// mapErr rewrites the pool-closed error into the engine's own sentinel.
+func mapErr(err error) error {
+	if errors.Is(err, sched.ErrPoolClosed) {
+		return ErrEngineClosed
+	}
+	return err
+}
+
+// LU computes the communication-avoiding LU factorization of a in place on
+// the engine's shared pool. Semantics and results are identical to the
+// package-level LU with Options.Workers set to the engine's worker count.
+func (e *Engine) LU(a *Matrix, opt Options) (*LUFactorization, error) {
+	res, err := core.CALUWithPool(a, e.engineOptions(opt), e.pool)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return &LUFactorization{res: res, workers: e.workers}, nil
+}
+
+// QR computes the communication-avoiding QR factorization of a in place on
+// the engine's shared pool. Semantics and results are identical to the
+// package-level QR with Options.Workers set to the engine's worker count.
+func (e *Engine) QR(a *Matrix, opt Options) (*QRFactorization, error) {
+	res, err := core.CAQRWithPool(a, e.engineOptions(opt), e.pool)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return &QRFactorization{res: res, workers: e.workers}, nil
+}

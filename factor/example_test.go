@@ -37,7 +37,10 @@ func ExampleQR() {
 	})
 	obs := factor.FromRows([][]float64{{1}, {3}, {5}, {7}})
 
-	qr := factor.QR(a, factor.Options{})
+	qr, err := factor.QR(a, factor.Options{})
+	if err != nil {
+		panic(err)
+	}
 	x := qr.LeastSquares(obs)
 	fmt.Printf("y = %.0f + %.0f t\n", x.At(0, 0), x.At(1, 0))
 	// Output: y = 1 + 2 t

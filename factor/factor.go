@@ -13,13 +13,20 @@
 //	lu, err := factor.LU(a, factor.Options{})        // CALU, defaults
 //	lu.Solve(b)                                       // b := A^-1 b
 //
-//	qr := factor.QR(a2, factor.Options{Workers: 8})   // CAQR
-//	x := qr.LeastSquares(rhs)                         // min ||A x - rhs||
+//	qr, err := factor.QR(a2, factor.Options{Workers: 8}) // CAQR
+//	x := qr.LeastSquares(rhs)                            // min ||A x - rhs||
 //
 // Options control the paper's tuning knobs: panel block size b, panel
 // parallelism Tr, reduction tree shape, worker count and look-ahead. The
 // zero Options value picks the paper's defaults (b = min(100, n), Tr =
 // Workers = GOMAXPROCS, binary tree, look-ahead on).
+//
+// A long-lived service should hold an Engine instead of calling LU/QR
+// directly: NewEngine starts one persistent worker pool, every
+// Engine.LU/Engine.QR call submits its task graph to that shared pool
+// (concurrent submissions interleave on the same workers), and Close tears
+// it down. The one-shot LU/QR helpers spin up and tear down a private pool
+// per call.
 package factor
 
 import (
@@ -28,6 +35,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/matrix"
 	"repro/internal/mixed"
+	"repro/internal/sched"
+	"repro/internal/trace"
 	"repro/internal/tslu"
 )
 
@@ -114,21 +123,58 @@ func (o Options) internal() core.Options {
 // triangular and U upper triangular, both stored in place in the input
 // matrix; the permutation is available through Permute.
 type LUFactorization struct {
-	res *core.LUResult
+	res     *core.LUResult
+	workers int
 }
 
 // ErrSingular is returned by LU when a panel is rank deficient.
 var ErrSingular = tslu.ErrSingular
 
+// ErrShape is returned by LU and QR for malformed inputs: a nil or empty
+// matrix. Both report it as a wrapped error (test with errors.Is) instead
+// of panicking, so a long-lived service can reject bad requests cheaply.
+var ErrShape = core.ErrShape
+
+// TaskEvent is one traced task execution: which kind of task (P, L, U or S
+// in the paper's nomenclature), on which worker, over which wall-clock
+// interval (seconds since the factorization started). Recorded only when
+// Options.Trace is set.
+type TaskEvent struct {
+	// Kind is the task class: "P" (panel reduction node), "L" (panel L
+	// block), "U" (pivoting + U row) or "S" (trailing update).
+	Kind string
+	// Label identifies the task within the graph (e.g. "S[2,5]").
+	Label string
+	// Worker is the index of the pool goroutine that ran the task.
+	Worker int
+	// Start and End delimit the execution in seconds from the run start.
+	Start, End float64
+}
+
+// taskEvents converts a scheduler trace into the public TaskEvent form,
+// sorted by worker then start time.
+func taskEvents(events []sched.Event, g *sched.Graph, workers int) []TaskEvent {
+	if len(events) == 0 {
+		return nil
+	}
+	tr := trace.FromSched(events, g, workers)
+	out := make([]TaskEvent, len(tr.Spans))
+	for i, s := range tr.Spans {
+		out[i] = TaskEvent{Kind: s.Kind.String(), Label: s.Label, Worker: s.Worker, Start: s.Start, End: s.End}
+	}
+	return out
+}
+
 // LU computes the communication-avoiding LU factorization with tournament
 // pivoting of a (m x n, m >= n), in place. The returned handle exposes
 // solves and the permutation; a itself holds L and U.
 func LU(a *Matrix, opt Options) (*LUFactorization, error) {
-	res, err := core.CALU(a, opt.internal())
+	iopt := opt.internal()
+	res, err := core.CALU(a, iopt)
 	if err != nil {
 		return nil, err
 	}
-	return &LUFactorization{res: res}, nil
+	return &LUFactorization{res: res, workers: iopt.Workers}, nil
 }
 
 // Factors returns the in-place factor matrix (L below the unit diagonal,
@@ -141,20 +187,30 @@ func (f *LUFactorization) Permute(b *Matrix) { f.res.ApplyPerm(b) }
 // Solve solves A*x = rhs for square A, overwriting rhs with x.
 func (f *LUFactorization) Solve(rhs *Matrix) { f.res.Solve(rhs) }
 
-// Events returns the execution trace when Options.Trace was set.
-func (f *LUFactorization) Events() int { return len(f.res.Events) }
+// Events returns the per-task execution trace — kind, worker and timing of
+// every task — when Options.Trace was set, and nil otherwise.
+func (f *LUFactorization) Events() []TaskEvent {
+	return taskEvents(f.res.Events, f.res.Graph, f.workers)
+}
 
 // QRFactorization is the result of QR: A = Q*R with R upper triangular in
 // the input matrix and Q held implicitly (leaf reflectors in the matrix,
 // tree reflectors in the handle).
 type QRFactorization struct {
-	res *core.QRResult
+	res     *core.QRResult
+	workers int
 }
 
 // QR computes the communication-avoiding QR factorization of a (m x n,
-// m >= n), in place.
-func QR(a *Matrix, opt Options) *QRFactorization {
-	return &QRFactorization{res: core.CAQR(a, opt.internal())}
+// m >= n), in place. Malformed inputs are reported as an ErrShape-wrapped
+// error.
+func QR(a *Matrix, opt Options) (*QRFactorization, error) {
+	iopt := opt.internal()
+	res, err := core.CAQR(a, iopt)
+	if err != nil {
+		return nil, err
+	}
+	return &QRFactorization{res: res, workers: iopt.Workers}, nil
 }
 
 // R returns a copy of the n x n upper-triangular factor.
@@ -176,9 +232,11 @@ func (f *QRFactorization) LeastSquares(rhs *Matrix) *Matrix {
 	return f.res.LeastSquares(rhs)
 }
 
-// Events returns the number of traced task executions when Options.Trace
-// was set.
-func (f *QRFactorization) Events() int { return len(f.res.Events) }
+// Events returns the per-task execution trace — kind, worker and timing of
+// every task — when Options.Trace was set, and nil otherwise.
+func (f *QRFactorization) Events() []TaskEvent {
+	return taskEvents(f.res.Events, f.res.Graph, f.workers)
+}
 
 // SolveTranspose solves A^T * x = rhs for square A, overwriting rhs.
 func (f *LUFactorization) SolveTranspose(rhs *Matrix) { f.res.SolveTranspose(rhs) }

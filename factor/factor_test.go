@@ -43,7 +43,7 @@ func TestLUDefaultsAndOptions(t *testing.T) {
 	if lu.Factors() != a {
 		t.Fatal("Factors should be the in-place matrix")
 	}
-	if lu.Events() == 0 {
+	if len(lu.Events()) == 0 {
 		t.Fatal("trace requested but no events")
 	}
 }
@@ -93,7 +93,7 @@ func TestQRLeastSquares(t *testing.T) {
 		}
 		rhs.Set(i, 0, s)
 	}
-	qr := factor.QR(a, factor.Options{PanelThreads: 4})
+	qr := mustQR(t, a, factor.Options{PanelThreads: 4})
 	x := qr.LeastSquares(rhs)
 	if !x.EqualApprox(xWant, 1e-8) {
 		t.Fatal("wrong least-squares solution")
@@ -104,7 +104,7 @@ func TestQRFactorsOrthonormal(t *testing.T) {
 	m, n := 80, 12
 	a := factor.Random(m, n, 7)
 	orig := a.Clone()
-	qr := factor.QR(a, factor.Options{BlockSize: 4, Workers: 3})
+	qr := mustQR(t, a, factor.Options{BlockSize: 4, Workers: 3})
 	q := qr.Q()
 	r := qr.R()
 	// Q^T Q == I.
@@ -139,7 +139,7 @@ func TestQRFactorsOrthonormal(t *testing.T) {
 
 func TestQRApplyRoundTrip(t *testing.T) {
 	a := factor.Random(60, 20, 8)
-	qr := factor.QR(a, factor.Options{})
+	qr := mustQR(t, a, factor.Options{})
 	c := factor.Random(60, 2, 9)
 	orig := c.Clone()
 	qr.ApplyQT(c)
@@ -164,7 +164,7 @@ func TestFromRowsAndColMajor(t *testing.T) {
 func TestHybridTreePublicAPI(t *testing.T) {
 	a := factor.Random(120, 24, 13)
 	orig := a.Clone()
-	qr := factor.QR(a, factor.Options{Tree: factor.Hybrid, PanelThreads: 8, BlockSize: 8})
+	qr := mustQR(t, a, factor.Options{Tree: factor.Hybrid, PanelThreads: 8, BlockSize: 8})
 	q, r := qr.Q(), qr.R()
 	for i := 0; i < 120; i++ {
 		for j := 0; j < 24; j++ {
@@ -278,4 +278,15 @@ func TestPermutationVector(t *testing.T) {
 			t.Fatalf("row %d: permutation vector inconsistent", i)
 		}
 	}
+}
+
+// mustQR wraps factor.QR for the happy-path tests; error returns are
+// covered by TestQRShapeError and the engine tests.
+func mustQR(t *testing.T, a *factor.Matrix, opt factor.Options) *factor.QRFactorization {
+	t.Helper()
+	qr, err := factor.QR(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qr
 }

@@ -48,12 +48,12 @@ func qrRowMeasured(m, n, workers int) map[string]float64 {
 	orig := matrix.Random(m, n, int64(m-n))
 	{
 		a := orig.Clone()
-		secs := timeIt(func() { core.CAQR(a, tsqrOptions(n, workers, workers)) })
+		secs := timeIt(func() { mustQR(core.CAQR(a, tsqrOptions(n, workers, workers))) })
 		vals["TSQR"] = gflops(canon, secs)
 	}
 	{
 		a := orig.Clone()
-		secs := timeIt(func() { core.CAQR(a, caqrOptions(n, workers)) })
+		secs := timeIt(func() { mustQR(core.CAQR(a, caqrOptions(n, workers))) })
 		vals["CAQR(Tr=4)"] = gflops(canon, secs)
 	}
 	{
@@ -164,7 +164,7 @@ func init() {
 					for _, tr := range trs {
 						a := orig.Clone()
 						opt := core.Options{BlockSize: min(paperBlock, n/4), PanelThreads: tr, Tree: tslu.Flat, Workers: workers, Lookahead: true}
-						secs := timeIt(func() { core.CAQR(a, opt) })
+						secs := timeIt(func() { mustQR(core.CAQR(a, opt)) })
 						vals["CAQR(Tr="+itoa(tr)+")"] = gflops(canon, secs)
 					}
 				}
@@ -173,4 +173,12 @@ func init() {
 			return t
 		},
 	})
+}
+
+// mustQR discards a benchmark factorization result, panicking on error:
+// bench inputs are well-formed by construction, so an error is a bug.
+func mustQR(_ *core.QRResult, err error) {
+	if err != nil {
+		panic(err)
+	}
 }

@@ -54,16 +54,32 @@ func (r *LUResult) Solve(rhs *matrix.Dense) {
 // CALU computes the communication-avoiding LU factorization with tournament
 // pivoting of the m x n matrix a, in place, using the multithreaded
 // Algorithm 1 of the paper: dynamic scheduling of P/L/U/S tasks with
-// look-ahead priorities. It returns ErrSingular (wrapped) if a panel is rank
+// look-ahead priorities. It returns an error wrapping ErrShape for
+// malformed inputs and one wrapping ErrSingular if a panel is rank
 // deficient.
 //
 // Wide matrices (m < n) are handled LAPACK-style: the leading m x m block
 // is factored, and the remaining columns are overwritten with
 // U(:, m:) = L^{-1} P A(:, m:).
 func CALU(a *matrix.Dense, opt Options) (*LUResult, error) {
+	return CALUWithPool(a, opt, nil)
+}
+
+// CALUWithPool is CALU executed on a caller-owned persistent worker pool:
+// the task graph is built as usual and submitted to pool, so many
+// factorizations can share (and concurrently occupy) one set of worker
+// goroutines. opt.Workers is ignored — the pool's size rules. A nil pool
+// falls back to a private one-shot pool, which is exactly CALU.
+func CALUWithPool(a *matrix.Dense, opt Options, pool *sched.Pool) (*LUResult, error) {
+	if err := validateInput(a); err != nil {
+		return nil, err
+	}
 	if a.Rows < a.Cols {
 		left := a.View(0, 0, a.Rows, a.Rows)
-		res, err := CALU(left, opt)
+		res, err := CALUWithPool(left, opt, pool)
+		if res == nil {
+			return nil, err
+		}
 		res.A = a
 		right := a.View(0, a.Rows, a.Rows, a.Cols-a.Rows)
 		for k, sw := range res.Swaps {
@@ -72,23 +88,29 @@ func CALU(a *matrix.Dense, opt Options) (*LUResult, error) {
 		blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, left, right)
 		return res, err
 	}
-	opt.normalize(a.Rows, a.Cols)
+	if err := opt.normalize(a.Rows, a.Cols); err != nil {
+		return nil, err
+	}
 	res := &LUResult{A: a}
 	b := newCALUBuilder(a.Rows, a.Cols, &opt)
 	b.bind(a, res)
 	b.build()
-	res.Events = runGraph(b.g, &opt)
+	events, err := runGraph(b.g, &opt, pool)
+	res.Events = events
 	res.Graph = b.g
 	res.Swaps = b.swaps
+	if err != nil {
+		return res, fmt.Errorf("core: CALU execution failed: %w", err)
+	}
 	// Deferred application of row interchanges to the L blocks left of each
 	// panel (Algorithm 1 line 41).
 	for k := 1; k < len(b.swaps); k++ {
 		left := a.View(0, 0, a.Rows, k*opt.BlockSize)
 		tslu.ApplyPivots(left, b.swaps[k], k*opt.BlockSize)
 	}
-	for _, err := range b.errs {
+	for k, err := range b.errs {
 		if err != nil {
-			return res, err
+			return res, fmt.Errorf("core: CALU panel %d: %w", k, err)
 		}
 	}
 	return res, nil
@@ -97,9 +119,12 @@ func CALU(a *matrix.Dense, opt Options) (*LUResult, error) {
 // BuildCALUGraph constructs the CALU task graph for an m x n matrix without
 // binding numeric work: tasks carry only flop counts, kernel classes and
 // priorities. Package simsched executes such graphs in virtual time for the
-// paper-scale modeled experiments.
+// paper-scale modeled experiments. It panics on malformed dimensions, since
+// the experiment code that calls it is in full control of them.
 func BuildCALUGraph(m, n int, opt Options) *sched.Graph {
-	opt.normalize(m, n)
+	if err := opt.normalize(m, n); err != nil {
+		panic(err)
+	}
 	b := newCALUBuilder(m, n, &opt)
 	b.build()
 	return b.g

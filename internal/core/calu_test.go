@@ -393,10 +393,10 @@ func TestCAQRWorkStealingIdenticalResult(t *testing.T) {
 	orig := matrix.Random(72, 48, 94)
 	a1, a2 := orig.Clone(), orig.Clone()
 	base := Options{BlockSize: 12, PanelThreads: 4, Workers: 4, Lookahead: true}
-	CAQR(a1, base)
+	mustCAQR(t, a1, base)
 	ws := base
 	ws.WorkStealing = true
-	CAQR(a2, ws)
+	mustCAQR(t, a2, ws)
 	if !a1.Equal(a2) {
 		t.Fatal("work-stealing changed numerical result")
 	}
@@ -415,15 +415,30 @@ func TestDefaultOptions(t *testing.T) {
 
 func TestOptionsNormalizeClamps(t *testing.T) {
 	opt := Options{BlockSize: 500, PanelThreads: -3, Workers: 0, ColsPerTask: -1}
-	opt.normalize(100, 40)
+	if err := opt.normalize(100, 40); err != nil {
+		t.Fatal(err)
+	}
 	if opt.BlockSize != 40 || opt.PanelThreads != 1 || opt.Workers != 1 || opt.ColsPerTask != 1 {
 		t.Fatalf("normalized: %+v", opt)
 	}
+	bad := Options{}
+	if err := bad.normalize(10, 20); !errors.Is(err, ErrShape) {
+		t.Fatalf("normalize(10, 20) = %v, want ErrShape", err)
+	}
+}
+
+// TestCALUShapeErrors checks that malformed inputs surface as
+// ErrShape-wrapped errors instead of panics.
+func TestCALUShapeErrors(t *testing.T) {
 	defer func() {
-		if recover() == nil {
-			t.Fatal("normalize must reject m < n")
+		if p := recover(); p != nil {
+			t.Fatalf("validation panicked: %v", p)
 		}
 	}()
-	bad := Options{}
-	bad.normalize(10, 20)
+	if _, err := CALU(nil, Options{}); !errors.Is(err, ErrShape) {
+		t.Fatalf("CALU(nil) = %v, want ErrShape", err)
+	}
+	if _, err := CALU(&matrix.Dense{}, Options{}); !errors.Is(err, ErrShape) {
+		t.Fatalf("CALU(empty) = %v, want ErrShape", err)
+	}
 }

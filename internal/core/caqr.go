@@ -106,34 +106,57 @@ func (r *QRResult) LeastSquares(rhs *matrix.Dense) *matrix.Dense {
 // matrix a, in place, using the multithreaded Algorithm 2 of the paper:
 // per-panel TSQR reduction trees whose node transformations also drive the
 // trailing-matrix update tasks, dynamically scheduled with look-ahead
-// priorities.
+// priorities. It returns an error wrapping ErrShape for malformed inputs.
 //
 // Wide matrices (m < n) are handled LAPACK-style: the leading m x m block
 // is factored and Q^T is applied to the remaining columns, leaving the
 // m x n upper-trapezoidal R in place.
-func CAQR(a *matrix.Dense, opt Options) *QRResult {
+func CAQR(a *matrix.Dense, opt Options) (*QRResult, error) {
+	return CAQRWithPool(a, opt, nil)
+}
+
+// CAQRWithPool is CAQR executed on a caller-owned persistent worker pool,
+// mirroring CALUWithPool: opt.Workers is ignored and the graph is submitted
+// to pool, sharing its workers with any concurrent submissions. A nil pool
+// falls back to a private one-shot pool.
+func CAQRWithPool(a *matrix.Dense, opt Options, pool *sched.Pool) (*QRResult, error) {
+	if err := validateInput(a); err != nil {
+		return nil, err
+	}
 	if a.Rows < a.Cols {
 		left := a.View(0, 0, a.Rows, a.Rows)
-		res := CAQR(left, opt)
+		res, err := CAQRWithPool(left, opt, pool)
+		if err != nil {
+			return nil, err
+		}
 		res.A = a
 		right := a.View(0, a.Rows, a.Rows, a.Cols-a.Rows)
 		applyPanelsQT(res, right)
-		return res
+		return res, nil
 	}
-	opt.normalize(a.Rows, a.Cols)
+	if err := opt.normalize(a.Rows, a.Cols); err != nil {
+		return nil, err
+	}
 	res := &QRResult{A: a}
 	b := newCAQRBuilder(a.Rows, a.Cols, &opt)
 	b.bind(a, res)
 	b.build()
-	res.Events = runGraph(b.g, &opt)
+	events, err := runGraph(b.g, &opt, pool)
+	res.Events = events
 	res.Graph = b.g
-	return res
+	if err != nil {
+		return res, fmt.Errorf("core: CAQR execution failed: %w", err)
+	}
+	return res, nil
 }
 
 // BuildCAQRGraph constructs the CAQR task graph without binding numeric
-// work, for virtual-time simulation.
+// work, for virtual-time simulation. Like BuildCALUGraph it panics on
+// malformed dimensions.
 func BuildCAQRGraph(m, n int, opt Options) *sched.Graph {
-	opt.normalize(m, n)
+	if err := opt.normalize(m, n); err != nil {
+		panic(err)
+	}
 	b := newCAQRBuilder(m, n, &opt)
 	b.build()
 	return b.g

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -15,7 +16,7 @@ import (
 func checkCAQR(t *testing.T, orig *matrix.Dense, opt Options) {
 	t.Helper()
 	a := orig.Clone()
-	res := CAQR(a, opt)
+	res := mustCAQR(t, a, opt)
 	q := res.ExplicitQ()
 	r := res.R()
 	qtq := blas.Mul(blas.Trans, blas.NoTrans, q, q)
@@ -59,7 +60,7 @@ func TestCAQRDeterministicAcrossWorkers(t *testing.T) {
 	var ref *matrix.Dense
 	for _, workers := range []int{1, 2, 4, 8} {
 		a := orig.Clone()
-		CAQR(a, Options{BlockSize: 10, PanelThreads: 4, Workers: workers, Lookahead: true})
+		mustCAQR(t, a, Options{BlockSize: 10, PanelThreads: 4, Workers: workers, Lookahead: true})
 		if ref == nil {
 			ref = a
 		} else if !a.Equal(ref) {
@@ -73,7 +74,7 @@ func TestCAQRMatchesGEQRFRDiag(t *testing.T) {
 	// the classic blocked QR.
 	orig := matrix.Random(60, 30, 22)
 	a := orig.Clone()
-	res := CAQR(a, Options{BlockSize: 8, PanelThreads: 4, Workers: 2, Lookahead: true})
+	res := mustCAQR(t, a, Options{BlockSize: 8, PanelThreads: 4, Workers: 2, Lookahead: true})
 	r := res.R()
 	ref := orig.Clone()
 	tau := make([]float64, 30)
@@ -91,7 +92,7 @@ func TestCAQRLeastSquares(t *testing.T) {
 	a := matrix.Random(m, n, 23)
 	xWant := matrix.Random(n, 2, 24)
 	rhs := blas.Mul(blas.NoTrans, blas.NoTrans, a, xWant)
-	res := CAQR(a.Clone(), Options{BlockSize: 4, PanelThreads: 4, Workers: 3, Lookahead: true})
+	res := mustCAQR(t, a.Clone(), Options{BlockSize: 4, PanelThreads: 4, Workers: 3, Lookahead: true})
 	x := res.LeastSquares(rhs)
 	if !x.EqualApprox(xWant, 1e-8) {
 		t.Fatal("least squares solution wrong")
@@ -104,7 +105,7 @@ func TestCAQRLeastSquaresInconsistent(t *testing.T) {
 	m, n := 60, 5
 	a := matrix.Random(m, n, 25)
 	rhs := matrix.Random(m, 1, 26)
-	res := CAQR(a.Clone(), Options{BlockSize: 5, PanelThreads: 2, Workers: 2, Lookahead: true})
+	res := mustCAQR(t, a.Clone(), Options{BlockSize: 5, PanelThreads: 2, Workers: 2, Lookahead: true})
 	x := res.LeastSquares(rhs.Clone())
 	resid := rhs.Clone()
 	blas.Gemm(blas.NoTrans, blas.NoTrans, -1, a, x, 1, resid)
@@ -116,7 +117,7 @@ func TestCAQRLeastSquaresInconsistent(t *testing.T) {
 
 func TestCAQRApplyQTThenQ(t *testing.T) {
 	a := matrix.Random(70, 30, 27)
-	res := CAQR(a.Clone(), Options{BlockSize: 10, PanelThreads: 4, Workers: 2, Lookahead: true})
+	res := mustCAQR(t, a.Clone(), Options{BlockSize: 10, PanelThreads: 4, Workers: 2, Lookahead: true})
 	c := matrix.Random(70, 4, 28)
 	orig := c.Clone()
 	res.ApplyQT(c)
@@ -128,7 +129,7 @@ func TestCAQRApplyQTThenQ(t *testing.T) {
 
 func TestCAQRTraceEvents(t *testing.T) {
 	a := matrix.Random(40, 40, 29)
-	res := CAQR(a, Options{BlockSize: 10, PanelThreads: 2, Workers: 2, Trace: true, Lookahead: true})
+	res := mustCAQR(t, a, Options{BlockSize: 10, PanelThreads: 2, Workers: 2, Trace: true, Lookahead: true})
 	if len(res.Events) != res.Graph.Len() {
 		t.Fatalf("%d events for %d tasks", len(res.Events), res.Graph.Len())
 	}
@@ -141,7 +142,7 @@ func TestBuildCAQRGraphMatchesBoundGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 	a := matrix.Random(64, 48, 30)
-	res := CAQR(a, opt)
+	res := mustCAQR(t, a, opt)
 	if g.Len() != res.Graph.Len() || g.Edges() != res.Graph.Edges() {
 		t.Fatalf("graph-only %d tasks/%d edges, bound %d/%d",
 			g.Len(), g.Edges(), res.Graph.Len(), res.Graph.Edges())
@@ -153,7 +154,7 @@ func TestCAQRColsPerTaskEquivalent(t *testing.T) {
 	var ref *matrix.Dense
 	for _, cpt := range []int{1, 2, 5} {
 		a := orig.Clone()
-		CAQR(a, Options{BlockSize: 6, PanelThreads: 4, Workers: 3, Lookahead: true, ColsPerTask: cpt})
+		mustCAQR(t, a, Options{BlockSize: 6, PanelThreads: 4, Workers: 3, Lookahead: true, ColsPerTask: cpt})
 		if ref == nil {
 			ref = a
 		} else if !a.EqualApprox(ref, 1e-12) {
@@ -173,7 +174,7 @@ func TestCAQRPropertyGram(t *testing.T) {
 		tree := tslu.Tree(int(treeRaw) % 2)
 		orig := matrix.Random(m, n, seed)
 		a := orig.Clone()
-		res := CAQR(a, Options{BlockSize: bs, PanelThreads: tr, Tree: tree, Workers: workers, Lookahead: true})
+		res := mustCAQR(t, a, Options{BlockSize: bs, PanelThreads: tr, Tree: tree, Workers: workers, Lookahead: true})
 		r := res.R()
 		ata := blas.Mul(blas.Trans, blas.NoTrans, orig, orig)
 		rtr := blas.Mul(blas.Trans, blas.NoTrans, r, r)
@@ -200,7 +201,7 @@ func TestCAQRWideMatrix(t *testing.T) {
 	m, n := 20, 50
 	orig := matrix.Random(m, n, 82)
 	a := orig.Clone()
-	res := CAQR(a, Options{BlockSize: 5, PanelThreads: 3, Workers: 2, Lookahead: true})
+	res := mustCAQR(t, a, Options{BlockSize: 5, PanelThreads: 3, Workers: 2, Lookahead: true})
 	q := res.ExplicitQ() // m x m
 	r := res.R()         // m x n trapezoid
 	if q.Cols != m || r.Rows != m || r.Cols != n {
@@ -221,7 +222,7 @@ func TestCAQRWideMatrix(t *testing.T) {
 
 func TestCAQRLeastSquaresWidePanics(t *testing.T) {
 	a := matrix.Random(5, 10, 83)
-	res := CAQR(a, Options{BlockSize: 3, PanelThreads: 2, Workers: 1, Lookahead: true})
+	res := mustCAQR(t, a, Options{BlockSize: 3, PanelThreads: 2, Workers: 1, Lookahead: true})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for underdetermined LeastSquares")
@@ -234,11 +235,11 @@ func TestCAQRStructuredTreeMatchesDense(t *testing.T) {
 	orig := matrix.Random(120, 60, 95)
 	base := Options{BlockSize: 12, PanelThreads: 4, Workers: 3, Lookahead: true}
 	a1 := orig.Clone()
-	r1 := CAQR(a1, base)
+	r1 := mustCAQR(t, a1, base)
 	st := base
 	st.StructuredTree = true
 	a2 := orig.Clone()
-	r2 := CAQR(a2, st)
+	r2 := mustCAQR(t, a2, st)
 	// Same R (identical reflector mathematics), and both reconstruct A.
 	if !r1.R().EqualApprox(r2.R(), 1e-10) {
 		t.Fatal("structured tree changed R")
@@ -256,5 +257,32 @@ func TestCAQRStructuredTreeMatchesDense(t *testing.T) {
 	}
 	if fs >= fd {
 		t.Fatalf("structured flops %g not below dense %g", fs, fd)
+	}
+}
+
+// mustCAQR factors a and fails the test on error; the error-path behavior
+// itself is covered by TestCAQRShapeErrors.
+func mustCAQR(t testing.TB, a *matrix.Dense, opt Options) *QRResult {
+	t.Helper()
+	res, err := CAQR(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCAQRShapeErrors checks that malformed inputs surface as
+// ErrShape-wrapped errors instead of panics.
+func TestCAQRShapeErrors(t *testing.T) {
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("validation panicked: %v", p)
+		}
+	}()
+	if _, err := CAQR(nil, Options{}); !errors.Is(err, ErrShape) {
+		t.Fatalf("CAQR(nil) = %v, want ErrShape", err)
+	}
+	if _, err := CAQR(&matrix.Dense{}, Options{}); !errors.Is(err, ErrShape) {
+		t.Fatalf("CAQR(empty) = %v, want ErrShape", err)
 	}
 }

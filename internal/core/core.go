@@ -20,11 +20,23 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/matrix"
 	"repro/internal/sched"
 	"repro/internal/tslu"
 )
+
+// ErrShape reports a malformed input matrix: nil, empty, or otherwise
+// unusable for the requested factorization. It is returned (wrapped with
+// the offending dimensions) rather than panicking, so service callers can
+// reject bad requests without tearing down the process.
+var ErrShape = errors.New("core: invalid matrix shape")
+
+// ErrSingular is re-exported from tslu: a panel was rank deficient.
+// Errors returned by CALU wrap it, so errors.Is(err, ErrSingular) works.
+var ErrSingular = tslu.ErrSingular
 
 // Options configures CALU and CAQR.
 type Options struct {
@@ -78,7 +90,13 @@ func DefaultOptions(n, workers int) Options {
 	}
 }
 
-func (o *Options) normalize(m, n int) {
+func (o *Options) normalize(m, n int) error {
+	if m < 1 || n < 1 {
+		return fmt.Errorf("%w: %dx%d matrix", ErrShape, m, n)
+	}
+	if m < n {
+		return fmt.Errorf("%w: m >= n required, got %dx%d", ErrShape, m, n)
+	}
 	if o.BlockSize <= 0 {
 		o.BlockSize = min(100, n)
 	}
@@ -94,9 +112,20 @@ func (o *Options) normalize(m, n int) {
 	if o.ColsPerTask < 1 {
 		o.ColsPerTask = 1
 	}
-	if m < n {
-		panic(fmt.Sprintf("core: matrix must have m >= n, got %dx%d", m, n))
+	return nil
+}
+
+// validateInput performs the shape checks shared by CALU and CAQR entry
+// points (the wide m < n case is legal there and handled by recursion, so
+// it is not rejected here).
+func validateInput(a *matrix.Dense) error {
+	if a == nil {
+		return fmt.Errorf("%w: nil matrix", ErrShape)
 	}
+	if a.Rows < 1 || a.Cols < 1 {
+		return fmt.Errorf("%w: %dx%d matrix", ErrShape, a.Rows, a.Cols)
+	}
+	return nil
 }
 
 // priority computes the scheduling priority of a task touching block column
@@ -112,14 +141,24 @@ func priority(opt *Options, nBlocks, iter, col, bonus int) int {
 	return (nBlocks-iter)*1000 + bonus
 }
 
-// runGraph executes a built graph with the scheduler the options select.
-func runGraph(g *sched.Graph, opt *Options) []sched.Event {
-	if opt.WorkStealing {
-		r := sched.StealingRunner{Workers: opt.Workers, Trace: opt.Trace}
-		return r.Run(g)
+// runGraph executes a built graph on the given pool, or — when pool is nil
+// — on a private one-shot pool sized by opt.Workers. Task panics are
+// captured per submission and come back as the error; with a shared pool a
+// failed submission leaves the pool usable.
+func runGraph(g *sched.Graph, opt *Options, pool *sched.Pool) ([]sched.Event, error) {
+	if pool == nil {
+		pool = sched.NewPool(opt.Workers)
+		defer pool.Close()
 	}
-	r := sched.Runner{Workers: opt.Workers, Trace: opt.Trace}
-	return r.Run(g)
+	so := sched.SubmitOptions{Trace: opt.Trace}
+	if opt.WorkStealing {
+		so.Policy = sched.Stealing
+	}
+	sub, err := pool.Submit(g, so)
+	if err != nil {
+		return nil, err
+	}
+	return sub.Wait()
 }
 
 // Within-column task bonuses: the panel chain (P then L) outranks U, which

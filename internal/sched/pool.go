@@ -1,0 +1,299 @@
+package sched
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrPoolClosed is returned by Pool.Submit after Close.
+var ErrPoolClosed = errors.New("sched: pool is closed")
+
+// Policy selects how a submission's ready tasks are ordered among the
+// pool's workers.
+type Policy uint8
+
+// Scheduling policies. Priority is the paper's centralized scheduler: every
+// free worker takes the highest-priority ready task, which realizes the
+// look-ahead scheme. Stealing is the Cilk-style alternative: each worker
+// keeps its own LIFO deque and steals FIFO from victims when empty, trading
+// the global priority order for less contention.
+const (
+	Priority Policy = iota
+	Stealing
+)
+
+// SubmitOptions configures one graph submission.
+type SubmitOptions struct {
+	// Trace records an Event per task, retrievable from Submission.Wait.
+	Trace bool
+	// Policy is the ready-task ordering for this submission.
+	Policy Policy
+	// Seed perturbs victim selection under the Stealing policy; 0 uses a
+	// per-worker default. Victim choice is never fully deterministic on a
+	// shared pool, since wall-clock interleaving decides which worker runs
+	// which task.
+	Seed int64
+}
+
+// Pool is a persistent executor: a fixed set of worker goroutines that
+// lives for the process (or service) lifetime and accepts concurrent graph
+// submissions. Each submission keeps its own ready set, priority space,
+// trace and failure state, so several factorizations can interleave on the
+// same cores; a panicking task fails only its own submission and leaves the
+// pool usable.
+//
+// Runner and StealingRunner are thin one-shot shims over a private Pool;
+// long-lived callers (factor.Engine) hold one Pool and amortize worker
+// startup across many factorizations.
+type Pool struct {
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	subs   []*Submission // submissions with unfinished tasks
+	rr     int           // round-robin cursor over subs, for fairness
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPool starts a pool with the given number of worker goroutines
+// (workers >= 1). Call Close to stop them.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		panic(fmt.Sprintf("sched: pool with %d workers", workers))
+	}
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops accepting submissions, waits for in-flight submissions to
+// drain, and joins the workers. It is idempotent and safe to call
+// concurrently with Submit (submissions racing with Close either run to
+// completion or fail with ErrPoolClosed).
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+// Submission is one graph handed to a Pool: its own ready set, trace and
+// failure state. Wait blocks until every task has been accounted for.
+type Submission struct {
+	pool  *Pool
+	g     *Graph
+	opt   SubmitOptions
+	start time.Time
+	done  chan struct{}
+
+	// The fields below are guarded by pool.mu until done is closed.
+	ready   taskHeap  // Priority policy
+	deques  [][]*Task // Stealing policy: per-worker deque (LIFO own, FIFO steal)
+	deps    []int
+	pending int
+	failed  error
+	events  []Event
+}
+
+// Submit validates g and enqueues it for execution. It returns immediately;
+// use Wait for completion. An empty graph completes at once.
+func (p *Pool) Submit(g *Graph, opt SubmitOptions) (*Submission, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.Len()
+	s := &Submission{pool: p, g: g, opt: opt, start: time.Now(), done: make(chan struct{})}
+	if opt.Trace && n > 0 {
+		s.events = make([]Event, 0, n)
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	if n == 0 {
+		close(s.done)
+		p.mu.Unlock()
+		return s, nil
+	}
+	s.pending = n
+	s.deps = make([]int, n)
+	var initial taskHeap
+	for i, t := range g.tasks {
+		s.deps[i] = t.ndeps
+		if t.ndeps == 0 {
+			initial = append(initial, t)
+		}
+	}
+	heap.Init(&initial)
+	if opt.Policy == Stealing {
+		// Seed the deques with the initial ready set in priority order,
+		// round-robin across workers, so high-priority panels start first
+		// even though stealing gives no global ordering afterwards.
+		s.deques = make([][]*Task, p.workers)
+		at := 0
+		for initial.Len() > 0 {
+			t := heap.Pop(&initial).(*Task)
+			s.deques[at%p.workers] = append(s.deques[at%p.workers], t)
+			at++
+		}
+	} else {
+		s.ready = initial
+	}
+	p.subs = append(p.subs, s)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	return s, nil
+}
+
+// Wait blocks until the submission has finished and returns its trace (nil
+// unless SubmitOptions.Trace) and the first task failure, if any. A task
+// panic is captured as an error; the remaining tasks of the submission are
+// drained without running, and the pool stays usable for other submissions.
+func (s *Submission) Wait() ([]Event, error) {
+	<-s.done
+	return s.events, s.failed
+}
+
+// Done returns a channel closed when the submission has finished.
+func (s *Submission) Done() <-chan struct{} { return s.done }
+
+// take pops one ready task for the given worker, or nil. Caller holds
+// pool.mu.
+func (s *Submission) take(worker, workers int, rng *rand.Rand) *Task {
+	if s.deques != nil {
+		if own := s.deques[worker]; len(own) > 0 {
+			t := own[len(own)-1] // LIFO: depth first, cache friendly
+			s.deques[worker] = own[:len(own)-1]
+			return t
+		}
+		at := worker
+		if workers > 1 {
+			at = int((int64(rng.Intn(workers)) + s.opt.Seed) % int64(workers))
+			if at < 0 {
+				at += workers
+			}
+		}
+		for i := 0; i < workers; i++ {
+			v := (at + i) % workers
+			if v == worker {
+				continue
+			}
+			if q := s.deques[v]; len(q) > 0 {
+				t := q[0] // FIFO for thieves
+				s.deques[v] = q[1:]
+				return t
+			}
+		}
+		return nil
+	}
+	if len(s.ready) == 0 {
+		return nil
+	}
+	return heap.Pop(&s.ready).(*Task)
+}
+
+// push makes a newly ready task available. Caller holds pool.mu.
+func (s *Submission) push(t *Task, worker int) {
+	if s.deques != nil {
+		s.deques[worker] = append(s.deques[worker], t)
+		return
+	}
+	heap.Push(&s.ready, t)
+}
+
+// takeLocked scans the active submissions round-robin for a ready task.
+// Caller holds pool.mu.
+func (p *Pool) takeLocked(worker int, rng *rand.Rand) (*Submission, *Task) {
+	n := len(p.subs)
+	for i := 0; i < n; i++ {
+		s := p.subs[(p.rr+i)%n]
+		if t := s.take(worker, p.workers, rng); t != nil {
+			p.rr = (p.rr + i + 1) % n
+			return s, t
+		}
+	}
+	return nil, nil
+}
+
+// removeLocked drops a finished submission. Caller holds pool.mu.
+func (p *Pool) removeLocked(s *Submission) {
+	for i, cur := range p.subs {
+		if cur == s {
+			p.subs = append(p.subs[:i], p.subs[i+1:]...)
+			if p.rr > i {
+				p.rr--
+			}
+			return
+		}
+	}
+}
+
+func (p *Pool) worker(id int) {
+	defer p.wg.Done()
+	rng := rand.New(rand.NewSource(int64(id)*2654435761 + 1))
+	p.mu.Lock()
+	for {
+		s, t := p.takeLocked(id, rng)
+		if t == nil {
+			if p.closed && len(p.subs) == 0 {
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+			continue
+		}
+		skip := s.failed != nil
+		p.mu.Unlock()
+
+		t0 := time.Since(s.start)
+		var failure error
+		if t.Run != nil && !skip {
+			failure = runTask(t)
+		}
+		t1 := time.Since(s.start)
+
+		p.mu.Lock()
+		if s.opt.Trace {
+			s.events = append(s.events, Event{TaskID: t.ID, Worker: id, Start: t0, End: t1})
+		}
+		if failure != nil && s.failed == nil {
+			s.failed = failure
+		}
+		woke := false
+		for _, succ := range t.succs {
+			s.deps[succ]--
+			if s.deps[succ] == 0 {
+				s.push(s.g.tasks[succ], id)
+				woke = true
+			}
+		}
+		s.pending--
+		if s.pending == 0 {
+			p.removeLocked(s)
+			close(s.done)
+			woke = true
+		}
+		if woke {
+			p.cond.Broadcast()
+		}
+	}
+}

@@ -1,9 +1,7 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
-	"sync"
 	"time"
 )
 
@@ -38,10 +36,12 @@ func (h *taskHeap) Pop() any {
 	return t
 }
 
-// Runner executes task graphs on a pool of goroutine workers with dynamic,
-// priority-driven scheduling: whenever a worker is free it picks the
+// Runner executes one task graph on a private, one-shot Pool with the
+// centralized priority policy: whenever a worker is free it picks the
 // highest-priority ready task, exactly as the paper's dynamic scheduler
-// does.
+// does. It is a compatibility shim kept for the ablations and simple
+// callers; long-lived services should hold a Pool (or factor.Engine) and
+// submit graphs to it directly.
 type Runner struct {
 	// Workers is the number of concurrent goroutines; it plays the role of
 	// the number of cores. Must be >= 1.
@@ -55,103 +55,36 @@ type Runner struct {
 // a bug in the algorithm that built it.
 //
 // If a task's Run panics, the panic is captured, remaining work is drained
-// without executing further tasks, and the panic is re-raised on the
-// caller's goroutine once all workers have stopped — so a numeric bug
-// surfaces as a normal panic at the Run call site rather than crashing an
-// anonymous worker goroutine.
+// without executing further tasks, and the captured error is re-raised as a
+// panic on the caller's goroutine once the submission has drained — so a
+// numeric bug surfaces as a normal panic at the Run call site rather than
+// crashing an anonymous worker goroutine.
 func (r *Runner) Run(g *Graph) []Event {
-	if r.Workers < 1 {
-		panic(fmt.Sprintf("sched: %d workers", r.Workers))
+	return runOneShot(g, r.Workers, SubmitOptions{Trace: r.Trace})
+}
+
+// runOneShot executes g on a pool created and closed for this single
+// submission, preserving the historical Runner contract: invalid graphs and
+// task panics surface as panics at the call site.
+func runOneShot(g *Graph, workers int, opt SubmitOptions) []Event {
+	if workers < 1 {
+		panic(fmt.Sprintf("sched: %d workers", workers))
 	}
-	if err := g.Validate(); err != nil {
+	p := NewPool(workers)
+	defer p.Close()
+	sub, err := p.Submit(g, opt)
+	if err != nil {
 		panic(err)
 	}
-	n := g.Len()
-	if n == 0 {
-		return nil
-	}
-
-	var (
-		mu      sync.Mutex
-		cond    = sync.NewCond(&mu)
-		ready   taskHeap
-		deps    = make([]int, n)
-		pending = n
-		aborted any // first captured task panic
-	)
-	for i, t := range g.tasks {
-		deps[i] = t.ndeps
-		if t.ndeps == 0 {
-			ready = append(ready, t)
-		}
-	}
-	heap.Init(&ready)
-
-	var events []Event
-	if r.Trace {
-		events = make([]Event, 0, n)
-	}
-	start := time.Now()
-
-	var wg sync.WaitGroup
-	wg.Add(r.Workers)
-	for w := 0; w < r.Workers; w++ {
-		go func(worker int) {
-			defer wg.Done()
-			mu.Lock()
-			for {
-				for len(ready) == 0 && pending > 0 {
-					cond.Wait()
-				}
-				if pending == 0 {
-					mu.Unlock()
-					cond.Broadcast()
-					return
-				}
-				t := heap.Pop(&ready).(*Task)
-				skip := aborted != nil
-				mu.Unlock()
-
-				t0 := time.Since(start)
-				if t.Run != nil && !skip {
-					if p := runTask(t); p != nil {
-						mu.Lock()
-						if aborted == nil {
-							aborted = p
-						}
-						mu.Unlock()
-					}
-				}
-				t1 := time.Since(start)
-
-				mu.Lock()
-				if r.Trace {
-					events = append(events, Event{TaskID: t.ID, Worker: worker, Start: t0, End: t1})
-				}
-				pending--
-				woke := false
-				for _, s := range t.succs {
-					deps[s]--
-					if deps[s] == 0 {
-						heap.Push(&ready, g.tasks[s])
-						woke = true
-					}
-				}
-				if woke || pending == 0 {
-					cond.Broadcast()
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	if aborted != nil {
-		panic(aborted)
+	events, err := sub.Wait()
+	if err != nil {
+		panic(err)
 	}
 	return events
 }
 
-// runTask executes one task, converting a panic into a returned value.
-func runTask(t *Task) (captured any) {
+// runTask executes one task, converting a panic into a returned error.
+func runTask(t *Task) (captured error) {
 	defer func() {
 		if p := recover(); p != nil {
 			captured = fmt.Errorf("sched: task %d (%s) panicked: %v", t.ID, t.Label, p)

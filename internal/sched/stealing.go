@@ -1,167 +1,24 @@
 package sched
 
-import (
-	"container/heap"
-	"fmt"
-	"math/rand"
-	"runtime"
-	"sync"
-	"sync/atomic"
-	"time"
-)
-
-// StealingRunner executes task graphs with Cilk-style work stealing: each
-// worker owns a deque, pops its own work LIFO (depth-first, cache friendly)
-// and steals FIFO from random victims when empty. It is the alternative to
-// the paper's centralized priority scheduler (Runner): stealing scales
-// better with worker count but cannot enforce the global look-ahead
-// priority order, which is exactly the trade-off the scheduling ablation
-// probes.
+// StealingRunner executes one task graph on a private, one-shot Pool with
+// the Cilk-style work-stealing policy: each worker owns a deque, pops its
+// own work LIFO (depth-first, cache friendly) and steals FIFO from victims
+// when empty. It is the alternative to the paper's centralized priority
+// scheduler (Runner): stealing scales better with worker count but cannot
+// enforce the global look-ahead priority order, which is exactly the
+// trade-off the scheduling ablation probes.
 type StealingRunner struct {
 	// Workers is the number of concurrent goroutines; must be >= 1.
 	Workers int
 	// Trace records an Event per task.
 	Trace bool
-	// Seed makes victim selection deterministic for tests; 0 uses 1.
+	// Seed perturbs victim selection; execution order is not deterministic
+	// either way (real goroutine interleaving decides who steals what).
 	Seed int64
-}
-
-// deque is a mutex-guarded double-ended queue of tasks. A lock-free deque
-// would be faster, but the factorization tasks are large enough (BLAS-3
-// kernels) that queue overhead is negligible; clarity wins.
-type deque struct {
-	mu    sync.Mutex
-	items []*Task
-}
-
-func (d *deque) pushBottom(t *Task) {
-	d.mu.Lock()
-	d.items = append(d.items, t)
-	d.mu.Unlock()
-}
-
-// popBottom removes the newest task (LIFO for the owner).
-func (d *deque) popBottom() *Task {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	n := len(d.items)
-	if n == 0 {
-		return nil
-	}
-	t := d.items[n-1]
-	d.items = d.items[:n-1]
-	return t
-}
-
-// stealTop removes the oldest task (FIFO for thieves).
-func (d *deque) stealTop() *Task {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if len(d.items) == 0 {
-		return nil
-	}
-	t := d.items[0]
-	d.items = d.items[1:]
-	return t
 }
 
 // Run executes every task of g and returns the trace (nil unless Trace).
 // Panics from tasks propagate to the caller, like Runner.Run.
 func (r *StealingRunner) Run(g *Graph) []Event {
-	if r.Workers < 1 {
-		panic(fmt.Sprintf("sched: %d workers", r.Workers))
-	}
-	if err := g.Validate(); err != nil {
-		panic(err)
-	}
-	n := g.Len()
-	if n == 0 {
-		return nil
-	}
-
-	deps := make([]atomic.Int32, n)
-	var initial taskHeap
-	for _, t := range g.tasks {
-		deps[t.ID].Store(int32(t.ndeps))
-		if t.ndeps == 0 {
-			initial = append(initial, t)
-		}
-	}
-	// Seed the deques with the initial ready set in priority order,
-	// round-robin across workers, so high-priority panels start first even
-	// though stealing gives no global ordering afterwards.
-	heap.Init(&initial)
-	deques := make([]*deque, r.Workers)
-	for i := range deques {
-		deques[i] = &deque{}
-	}
-	at := 0
-	for initial.Len() > 0 {
-		t := heap.Pop(&initial).(*Task)
-		deques[at%r.Workers].pushBottom(t)
-		at++
-	}
-
-	var (
-		pending  atomic.Int64
-		panicked atomic.Value
-		eventsMu sync.Mutex
-		events   []Event
-	)
-	pending.Store(int64(n))
-	if r.Trace {
-		events = make([]Event, 0, n)
-	}
-	seed := r.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	start := time.Now()
-
-	var wg sync.WaitGroup
-	wg.Add(r.Workers)
-	for w := 0; w < r.Workers; w++ {
-		go func(worker int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(worker)))
-			own := deques[worker]
-			for pending.Load() > 0 {
-				t := own.popBottom()
-				if t == nil {
-					// Steal from a random victim.
-					victim := rng.Intn(r.Workers)
-					if victim != worker {
-						t = deques[victim].stealTop()
-					}
-				}
-				if t == nil {
-					runtime.Gosched()
-					continue
-				}
-				t0 := time.Since(start)
-				if t.Run != nil && panicked.Load() == nil {
-					if p := runTask(t); p != nil {
-						panicked.CompareAndSwap(nil, p)
-					}
-				}
-				t1 := time.Since(start)
-				if r.Trace {
-					eventsMu.Lock()
-					events = append(events, Event{TaskID: t.ID, Worker: worker, Start: t0, End: t1})
-					eventsMu.Unlock()
-				}
-				for _, s := range t.succs {
-					if deps[s].Add(-1) == 0 {
-						own.pushBottom(g.tasks[s])
-					}
-				}
-				pending.Add(-1)
-			}
-		}(w)
-	}
-	wg.Wait()
-	if p := panicked.Load(); p != nil {
-		panic(p)
-	}
-	return events
+	return runOneShot(g, r.Workers, SubmitOptions{Trace: r.Trace, Policy: Stealing, Seed: r.Seed})
 }

@@ -1,0 +1,82 @@
+// Package scratch pools the short-lived float64 workspaces of the panel
+// kernels: the GEPP copies of TSLU's tournament rounds and the stacked
+// apply buffer of TSQR's tree nodes. Every CALU/CAQR iteration allocates a
+// handful of these per tournament node; under a persistent factor.Engine
+// serving many small factorizations they dominate the allocation profile,
+// so they are recycled through size-bucketed sync.Pools instead.
+//
+// Buffers come back with arbitrary contents. Callers must fully overwrite
+// a workspace before reading it — every current use sites a CopyFrom over
+// the whole buffer first — and must not retain it past Put/Release (views
+// handed to callers are always Clone()d out first).
+package scratch
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// minBits is the smallest bucket: slices below 1<<minBits elements are not
+// worth pooling (the header boxing costs as much as the allocation).
+const minBits = 6
+
+// pools[i] holds *[]float64 with capacity >= 1<<(i+minBits). Get rounds the
+// request up to the bucket's power-of-two capacity, so a recycled buffer
+// always fits.
+var pools [64 - minBits]sync.Pool
+
+// bucket returns the index of the smallest bucket whose capacity holds n.
+func bucket(n int) int {
+	b := bits.Len(uint(n-1)) - minBits
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Get returns a length-n slice with arbitrary contents, recycled from the
+// pool when possible. n <= 0 returns nil.
+func Get(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	b := bucket(n)
+	if v := pools[b].Get(); v != nil {
+		return (*v.(*[]float64))[:n]
+	}
+	return make([]float64, n, 1<<(b+minBits))
+}
+
+// Put recycles a slice previously returned by Get (or any slice — the
+// bucket is derived from its capacity). Small slices are dropped. The
+// caller must not use s afterwards.
+func Put(s []float64) {
+	c := cap(s)
+	if c < 1<<minBits {
+		return
+	}
+	// Floor to the largest bucket the capacity fully covers, so Get's
+	// round-up guarantee holds for everything stored in a bucket.
+	b := bits.Len(uint(c)) - 1 - minBits
+	s = s[:c]
+	pools[b].Put(&s)
+}
+
+// Dense returns an r x c column-major matrix (stride r) backed by a pooled
+// buffer, with arbitrary contents: the caller must overwrite it (CopyFrom)
+// before reading, and hand it back with Release when done.
+func Dense(r, c int) *matrix.Dense {
+	return matrix.FromColMajor(r, c, r, Get(r*c))
+}
+
+// Release recycles a matrix obtained from Dense. The matrix (and any views
+// of it) must not be used afterwards.
+func Release(d *matrix.Dense) {
+	if d == nil {
+		return
+	}
+	Put(d.Data)
+	d.Data = nil
+}

@@ -1,0 +1,79 @@
+package scratch
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetLenAndReuse(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100, 1 << 12, 1<<12 + 1} {
+		s := Get(n)
+		if len(s) != n {
+			t.Fatalf("Get(%d) len = %d", n, len(s))
+		}
+		if cap(s) < n {
+			t.Fatalf("Get(%d) cap = %d", n, cap(s))
+		}
+		Put(s)
+	}
+	if Get(0) != nil || Get(-3) != nil {
+		t.Fatal("nonpositive Get must return nil")
+	}
+}
+
+func TestPutGetRoundTripKeepsCapacityInvariant(t *testing.T) {
+	// A slice Put into a bucket must satisfy every later Get from that
+	// bucket, including the largest request the bucket serves.
+	s := make([]float64, 100) // cap 100: floored into the 64-bucket
+	Put(s)
+	g := Get(64)
+	if len(g) != 64 {
+		t.Fatalf("len = %d", len(g))
+	}
+	Put(g)
+}
+
+func TestDenseRelease(t *testing.T) {
+	d := Dense(7, 5)
+	if d.Rows != 7 || d.Cols != 5 || d.Stride != 7 {
+		t.Fatalf("Dense shape: %dx%d stride %d", d.Rows, d.Cols, d.Stride)
+	}
+	for j := 0; j < 5; j++ {
+		for i := 0; i < 7; i++ {
+			d.Set(i, j, float64(i+10*j))
+		}
+	}
+	if d.At(6, 4) != 46 {
+		t.Fatal("Dense not writable")
+	}
+	Release(d)
+	if d.Data != nil {
+		t.Fatal("Release must clear Data")
+	}
+	Release(nil) // must not panic
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				n := 32 + (seed*131+i*17)%4096
+				s := Get(n)
+				for k := range s {
+					s[k] = float64(k)
+				}
+				for k := range s {
+					if s[k] != float64(k) {
+						t.Errorf("buffer clobbered at %d", k)
+						return
+					}
+				}
+				Put(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -131,7 +131,10 @@ func TestIncrementalPivotingGrowthComparison(t *testing.T) {
 
 func TestMeasureQRSanity(t *testing.T) {
 	a := matrix.Random(80, 20, 12)
-	res := core.CAQR(a.Clone(), core.Options{BlockSize: 5, PanelThreads: 4, Workers: 2, Lookahead: true})
+	res, err := core.CAQR(a.Clone(), core.Options{BlockSize: 5, PanelThreads: 4, Workers: 2, Lookahead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	rep := MeasureQR(a, res.ExplicitQ(), res.R())
 	if rep.Residual > 1e-13*80 {
 		t.Fatalf("residual %g", rep.Residual)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/blas"
 	"repro/internal/lapack"
 	"repro/internal/matrix"
+	"repro/internal/scratch"
 )
 
 // Tree selects the reduction tree shape used by the tournament.
@@ -166,7 +167,8 @@ type Candidates struct {
 // row, used to keep Idx global.
 func Leaf(block *matrix.Dense, rowOffset int) *Candidates {
 	mb, b := block.Rows, block.Cols
-	fac := block.Clone()
+	fac := scratch.Dense(mb, b)
+	fac.CopyFrom(block)
 	k := min(mb, b)
 	ipiv := make([]int, k)
 	_ = lapack.RGETF2(fac, ipiv) // leaf rank deficiency is handled at the root
@@ -175,7 +177,9 @@ func Leaf(block *matrix.Dense, rowOffset int) *Candidates {
 		idx[i] = rowOffset + i
 	}
 	applyIpivToIndex(idx, ipiv)
-	return buildCandidates(block, fac, ipiv, idx, k)
+	c := buildCandidates(block, fac, ipiv, idx, k)
+	scratch.Release(fac)
+	return c
 }
 
 // Merge plays two candidate sets against each other: their rows are stacked
@@ -201,7 +205,7 @@ func MergeMany(cs []*Candidates) *Candidates {
 		}
 		total += c.Rows.Rows
 	}
-	stacked := matrix.New(total, b)
+	stacked := scratch.Dense(total, b)
 	idx := make([]int, total)
 	at := 0
 	for _, c := range cs {
@@ -209,12 +213,16 @@ func MergeMany(cs []*Candidates) *Candidates {
 		copy(idx[at:], c.Idx)
 		at += c.Rows.Rows
 	}
-	fac := stacked.Clone()
+	fac := scratch.Dense(total, b)
+	fac.CopyFrom(stacked)
 	k := min(total, b)
 	ipiv := make([]int, k)
 	_ = lapack.RGETF2(fac, ipiv)
 	applyIpivToIndex(idx, ipiv)
-	return buildCandidates(stacked, fac, ipiv, idx, k)
+	c := buildCandidates(stacked, fac, ipiv, idx, k)
+	scratch.Release(fac)
+	scratch.Release(stacked)
+	return c
 }
 
 // buildCandidates assembles the result of one tournament round. input holds
@@ -222,15 +230,20 @@ func MergeMany(cs []*Candidates) *Candidates {
 // the interchanges GEPP performed, and idx the global indices already in
 // pivot order. The winners' original values are obtained by replaying the
 // same interchanges on a copy of input.
+// The workspaces are pooled: perm is released here, while input and fac
+// belong to the caller (everything retained in the result is Clone()d out).
 func buildCandidates(input, fac *matrix.Dense, ipiv, idx []int, k int) *Candidates {
 	b := input.Cols
-	perm := input.Clone()
+	perm := scratch.Dense(input.Rows, b)
+	perm.CopyFrom(input)
 	lapack.LASWP(perm, ipiv, 0, len(ipiv))
-	return &Candidates{
+	c := &Candidates{
 		Rows: perm.View(0, 0, k, b).Clone(),
 		Idx:  idx[:k:k],
 		Fac:  fac.View(0, 0, k, b).Clone(),
 	}
+	scratch.Release(perm)
+	return c
 }
 
 // applyIpivToIndex replays LAPACK-style sequential row interchanges on an

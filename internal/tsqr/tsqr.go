@@ -21,6 +21,7 @@ import (
 	"repro/internal/blas"
 	"repro/internal/lapack"
 	"repro/internal/matrix"
+	"repro/internal/scratch"
 	"repro/internal/tslu"
 )
 
@@ -322,7 +323,9 @@ func (f *Factorization) applyNode(level, j int, c *matrix.Dense, trans blas.Tran
 		return
 	}
 	total := node.V.Rows
-	tmp := matrix.New(total, c.Cols)
+	// tmp is a pooled workspace: the gather loop overwrites all of it
+	// (the carriers' K sum to total, matching how V was stacked).
+	tmp := scratch.Dense(total, c.Cols)
 	at := 0
 	for _, cr := range node.In {
 		tmp.View(at, 0, cr.K, c.Cols).CopyFrom(c.View(cr.Row, 0, cr.K, c.Cols))
@@ -334,6 +337,7 @@ func (f *Factorization) applyNode(level, j int, c *matrix.Dense, trans blas.Tran
 		c.View(cr.Row, 0, cr.K, c.Cols).CopyFrom(tmp.View(at, 0, cr.K, c.Cols))
 		at += cr.K
 	}
+	scratch.Release(tmp)
 }
 
 // ApplyQT overwrites c with Q^T * c, traversing leaves then tree levels in
