@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/baseline"
@@ -40,6 +43,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C cancels the scheduled factorization between tasks instead of
+	// killing the process mid-kernel; a second interrupt kills it outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	orig := matrix.Random(*m, *n, *seed)
 	a := orig.Clone()
 	tree := tslu.Binary
@@ -52,8 +60,12 @@ func main() {
 	switch *alg {
 	case "caqr":
 		opt := core.Options{BlockSize: *b, PanelThreads: *tr, Tree: tree, Workers: *workers, Lookahead: true}
-		res, err := core.CAQR(a, opt)
+		res, err := core.CAQRWithPoolCtx(ctx, a, opt, nil)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "interrupted: factorization cancelled")
+				os.Exit(130)
+			}
 			fmt.Fprintln(os.Stderr, "factorization:", err)
 			os.Exit(1)
 		}

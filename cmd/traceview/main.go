@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/machine"
@@ -24,6 +27,17 @@ import (
 	"repro/internal/trace"
 	"repro/internal/tslu"
 )
+
+// reportRunError prints a factorization failure and exits: 130 for an
+// operator interrupt (SIGINT mapped to context cancellation), 1 otherwise.
+func reportRunError(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "interrupted: factorization cancelled")
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, "factorization:", err)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -60,21 +74,23 @@ func main() {
 
 	var tra *trace.Trace
 	if *measured {
+		// Ctrl-C cancels the measured run between tasks; the partial trace
+		// is discarded (drained tasks leave no events to render anyway).
+		ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stopSig()
 		a := matrix.Random(*m, *n, 42)
 		var events []sched.Event
 		var graph *sched.Graph
 		if *alg == "caqr" {
-			res, err := core.CAQR(a, opt)
+			res, err := core.CAQRWithPoolCtx(ctx, a, opt, nil)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "factorization:", err)
-				os.Exit(1)
+				reportRunError(err)
 			}
 			events, graph = res.Events, res.Graph
 		} else {
-			res, err := core.CALU(a, opt)
+			res, err := core.CALUWithPoolCtx(ctx, a, opt, nil)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "factorization:", err)
-				os.Exit(1)
+				reportRunError(err)
 			}
 			events, graph = res.Events, res.Graph
 		}

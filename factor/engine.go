@@ -1,8 +1,10 @@
 package factor
 
 import (
+	"context"
 	"errors"
 	"runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/sched"
@@ -44,6 +46,17 @@ func (e *Engine) Workers() int { return e.workers }
 // Close is idempotent.
 func (e *Engine) Close() { e.pool.Close() }
 
+// CloseWithTimeout shuts the engine down like Close but bounds the wait: if
+// in-flight factorizations have not drained within d, their still-queued
+// tasks are cancelled — each affected LU/QR call returns an error wrapping
+// context.DeadlineExceeded instead of blocking forever — and the workers
+// exit once the kernels already executing finish. It returns nil on a clean
+// drain and an error wrapping context.DeadlineExceeded when it had to
+// cancel. Idempotent, like Close.
+func (e *Engine) CloseWithTimeout(d time.Duration) error {
+	return e.pool.CloseWithTimeout(d)
+}
+
 // engineOptions pins the scheduling knobs the engine owns: the worker
 // count is the pool's, not the caller's.
 func (e *Engine) engineOptions(opt Options) core.Options {
@@ -75,6 +88,31 @@ func (e *Engine) LU(a *Matrix, opt Options) (*LUFactorization, error) {
 // package-level QR with Options.Workers set to the engine's worker count.
 func (e *Engine) QR(a *Matrix, opt Options) (*QRFactorization, error) {
 	res, err := core.CAQRWithPool(a, e.engineOptions(opt), e.pool)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return &QRFactorization{res: res, workers: e.workers}, nil
+}
+
+// LUCtx is Engine.LU bound to a context: if ctx is cancelled or its
+// deadline expires — before submission or mid-factorization — the call
+// returns an error wrapping context.Canceled or context.DeadlineExceeded
+// and never a partial result. Kernels already executing finish; everything
+// still queued is drained unrun, the engine's pool stays fully usable, and
+// concurrent submissions are unaffected. Note that a is factored in place,
+// so its contents are unspecified after a cancelled call.
+func (e *Engine) LUCtx(ctx context.Context, a *Matrix, opt Options) (*LUFactorization, error) {
+	res, err := core.CALUWithPoolCtx(ctx, a, e.engineOptions(opt), e.pool)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return &LUFactorization{res: res, workers: e.workers}, nil
+}
+
+// QRCtx is Engine.QR bound to a context, with the same cancellation
+// semantics as Engine.LUCtx.
+func (e *Engine) QRCtx(ctx context.Context, a *Matrix, opt Options) (*QRFactorization, error) {
+	res, err := core.CAQRWithPoolCtx(ctx, a, e.engineOptions(opt), e.pool)
 	if err != nil {
 		return nil, mapErr(err)
 	}

@@ -1,7 +1,10 @@
 package factor_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/factor"
 )
@@ -44,6 +47,44 @@ func ExampleQR() {
 	x := qr.LeastSquares(obs)
 	fmt.Printf("y = %.0f + %.0f t\n", x.At(0, 0), x.At(1, 0))
 	// Output: y = 1 + 2 t
+}
+
+// ExampleEngine_LUCtx shows request cancellation on a shared engine: a
+// caller that has given up (closed connection, expired deadline) gets a
+// wrapped context error and never a partial factorization, while the
+// engine keeps serving other requests.
+func ExampleEngine_LUCtx() {
+	eng := factor.NewEngine(2)
+	defer eng.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client has already gone away
+
+	_, err := eng.LUCtx(ctx, factor.Random(500, 100, 7), factor.Options{})
+	fmt.Println("cancelled:", errors.Is(err, context.Canceled))
+
+	// The engine is unaffected: the next request factors normally.
+	lu, err := eng.LU(factor.Random(500, 100, 8), factor.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("next request factored:", lu.Factors().Rows, "x", lu.Factors().Cols)
+	// Output:
+	// cancelled: true
+	// next request factored: 500 x 100
+}
+
+// ExampleEngine_CloseWithTimeout bounds service shutdown: stop waiting for
+// stragglers after the grace period and cancel whatever is still queued.
+func ExampleEngine_CloseWithTimeout() {
+	eng := factor.NewEngine(2)
+	if _, err := eng.LU(factor.Random(200, 80, 9), factor.Options{}); err != nil {
+		panic(err)
+	}
+	// Nothing in flight, so the close drains cleanly within the budget.
+	err := eng.CloseWithTimeout(5 * time.Second)
+	fmt.Println("clean shutdown:", err == nil)
+	// Output: clean shutdown: true
 }
 
 // ExampleOptions shows the paper's tuning knobs.

@@ -27,9 +27,18 @@
 // (concurrent submissions interleave on the same workers), and Close tears
 // it down. The one-shot LU/QR helpers spin up and tear down a private pool
 // per call.
+//
+// Every entry point has a context-bound variant (LUCtx/QRCtx,
+// Engine.LUCtx/Engine.QRCtx) for callers that need to cancel a running
+// factorization, bound it with a deadline, or shed load: the call returns
+// an error wrapping the context's error and never a partial result, while
+// concurrent requests on the same engine are unaffected. CloseWithTimeout
+// bounds engine shutdown the same way. See doc/CANCELLATION.md for the
+// full semantics.
 package factor
 
 import (
+	"context"
 	"runtime"
 
 	"repro/internal/core"
@@ -169,8 +178,17 @@ func taskEvents(events []sched.Event, g *sched.Graph, workers int) []TaskEvent {
 // pivoting of a (m x n, m >= n), in place. The returned handle exposes
 // solves and the permutation; a itself holds L and U.
 func LU(a *Matrix, opt Options) (*LUFactorization, error) {
+	return LUCtx(context.Background(), a, opt)
+}
+
+// LUCtx is LU bound to a context: if ctx is cancelled or its deadline
+// expires the factorization stops dispatching tasks, drains, and returns an
+// error wrapping context.Canceled or context.DeadlineExceeded — never a
+// partial result. a is factored in place, so its contents are unspecified
+// after a cancelled call.
+func LUCtx(ctx context.Context, a *Matrix, opt Options) (*LUFactorization, error) {
 	iopt := opt.internal()
-	res, err := core.CALU(a, iopt)
+	res, err := core.CALUWithPoolCtx(ctx, a, iopt, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -205,8 +223,14 @@ type QRFactorization struct {
 // m >= n), in place. Malformed inputs are reported as an ErrShape-wrapped
 // error.
 func QR(a *Matrix, opt Options) (*QRFactorization, error) {
+	return QRCtx(context.Background(), a, opt)
+}
+
+// QRCtx is QR bound to a context, with the same cancellation semantics as
+// LUCtx: an error wrapping the context's error, never a partial result.
+func QRCtx(ctx context.Context, a *Matrix, opt Options) (*QRFactorization, error) {
 	iopt := opt.internal()
-	res, err := core.CAQR(a, iopt)
+	res, err := core.CAQRWithPoolCtx(ctx, a, iopt, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,99 @@
+package blas
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// These tests close a coverage gap: the transpose paths of Dgemm and the
+// Right-side paths of Dtrsm/Dtrmm were only exercised with tight leading
+// dimensions (lda == rows) and alpha in {0, 1}. Here every operand is a
+// view into a larger parent matrix (lda > rows) and alpha is fractional
+// and/or negative, against the same naive references.
+
+// viewOf embeds an r x c random block inside a larger parent so its leading
+// dimension exceeds its row count.
+func viewOf(r, c int, seed int64) *matrix.Dense {
+	parent := matrix.Random(r+9, c+7, seed)
+	return parent.View(3, 2, r, c)
+}
+
+func TestDgemmTransposePathsStridedAlpha(t *testing.T) {
+	const m, n, k = 11, 8, 6
+	for _, ta := range []Transpose{NoTrans, Trans} {
+		for _, tb := range []Transpose{NoTrans, Trans} {
+			ar, ac := m, k
+			if ta == Trans {
+				ar, ac = k, m
+			}
+			br, bc := k, n
+			if tb == Trans {
+				br, bc = n, k
+			}
+			a := viewOf(ar, ac, 41)
+			b := viewOf(br, bc, 42)
+			c := viewOf(m, n, 43)
+			want := c.Clone()
+			refGemm(ta, tb, -2.5, a, b, 0.75, want)
+			Gemm(ta, tb, -2.5, a, b, 0.75, c)
+			if !c.EqualApprox(want, 1e-12) {
+				t.Errorf("Dgemm transA=%v transB=%v with lda>rows, alpha=-2.5 mismatch", ta, tb)
+			}
+		}
+	}
+}
+
+func TestDtrsmRightSideStridedAlpha(t *testing.T) {
+	const m, n = 9, 6
+	for _, uplo := range []Uplo{Upper, Lower} {
+		for _, trans := range []Transpose{NoTrans, Trans} {
+			for _, diag := range []Diag{NonUnit, Unit} {
+				a := viewOf(n, n, 51)
+				for i := 0; i < n; i++ {
+					a.Set(i, i, a.At(i, i)+3) // keep the triangle well conditioned
+				}
+				b := viewOf(m, n, 52)
+				x := b.Clone()
+				const alpha = -1.5
+				Trsm(Right, uplo, trans, diag, alpha, a, x)
+				// Verify X * op(T) == alpha * B.
+				tri := refTri(uplo, diag, a)
+				got := Mul(NoTrans, trans, x, tri)
+				want := b.Clone()
+				for j := 0; j < n; j++ {
+					col := want.Col(j)
+					for i := range col {
+						col[i] *= alpha
+					}
+				}
+				if !got.EqualApprox(want, 1e-10) {
+					t.Errorf("Dtrsm Right uplo=%v trans=%v diag=%v with lda>rows, alpha=%v mismatch",
+						uplo, trans, diag, alpha)
+				}
+			}
+		}
+	}
+}
+
+func TestDtrmmRightSideStridedAlpha(t *testing.T) {
+	const m, n = 7, 5
+	for _, uplo := range []Uplo{Upper, Lower} {
+		for _, trans := range []Transpose{NoTrans, Trans} {
+			for _, diag := range []Diag{NonUnit, Unit} {
+				a := viewOf(n, n, 61)
+				b := viewOf(m, n, 62)
+				x := b.Clone()
+				const alpha = 2.25
+				Trmm(Right, uplo, trans, diag, alpha, a, x)
+				tri := refTri(uplo, diag, a)
+				want := matrix.New(m, n)
+				refGemm(NoTrans, trans, alpha, b, tri, 0, want)
+				if !x.EqualApprox(want, 1e-11) {
+					t.Errorf("Dtrmm Right uplo=%v trans=%v diag=%v with lda>rows, alpha=%v mismatch",
+						uplo, trans, diag, alpha)
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/blas"
@@ -71,13 +72,25 @@ func CALU(a *matrix.Dense, opt Options) (*LUResult, error) {
 // goroutines. opt.Workers is ignored — the pool's size rules. A nil pool
 // falls back to a private one-shot pool, which is exactly CALU.
 func CALUWithPool(a *matrix.Dense, opt Options, pool *sched.Pool) (*LUResult, error) {
+	return CALUWithPoolCtx(context.Background(), a, opt, pool)
+}
+
+// CALUWithPoolCtx is CALUWithPool bound to a context: once ctx is cancelled
+// or its deadline expires, the submission stops dispatching tasks (ones
+// already executing finish; the rest are drained unrun) and the call
+// returns an error wrapping ctx's error. The returned result, if non-nil,
+// is partial and must not be used; the pool itself stays fully usable and
+// concurrent submissions are unaffected. Cancelled runs leak nothing: every
+// internal/scratch workspace is acquired and released inside a single
+// task's Run, so skipped tasks never acquire one.
+func CALUWithPoolCtx(ctx context.Context, a *matrix.Dense, opt Options, pool *sched.Pool) (*LUResult, error) {
 	if err := validateInput(a); err != nil {
 		return nil, err
 	}
 	if a.Rows < a.Cols {
 		left := a.View(0, 0, a.Rows, a.Rows)
-		res, err := CALUWithPool(left, opt, pool)
-		if res == nil {
+		res, err := CALUWithPoolCtx(ctx, left, opt, pool)
+		if res == nil || err != nil {
 			return nil, err
 		}
 		res.A = a
@@ -95,7 +108,7 @@ func CALUWithPool(a *matrix.Dense, opt Options, pool *sched.Pool) (*LUResult, er
 	b := newCALUBuilder(a.Rows, a.Cols, &opt)
 	b.bind(a, res)
 	b.build()
-	events, err := runGraph(b.g, &opt, pool)
+	events, err := runGraph(ctx, b.g, &opt, pool)
 	res.Events = events
 	res.Graph = b.g
 	res.Swaps = b.swaps

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/blas"
@@ -120,12 +121,22 @@ func CAQR(a *matrix.Dense, opt Options) (*QRResult, error) {
 // to pool, sharing its workers with any concurrent submissions. A nil pool
 // falls back to a private one-shot pool.
 func CAQRWithPool(a *matrix.Dense, opt Options, pool *sched.Pool) (*QRResult, error) {
+	return CAQRWithPoolCtx(context.Background(), a, opt, pool)
+}
+
+// CAQRWithPoolCtx is CAQRWithPool bound to a context, with the same
+// semantics as CALUWithPoolCtx: cancellation is observed between tasks, the
+// remaining tasks drain unrun, the returned error wraps ctx's error, and a
+// non-nil result accompanying an error is partial and must not be used.
+// The pool and any concurrent submissions are unaffected, and no
+// internal/scratch workspace outlives the task that acquired it.
+func CAQRWithPoolCtx(ctx context.Context, a *matrix.Dense, opt Options, pool *sched.Pool) (*QRResult, error) {
 	if err := validateInput(a); err != nil {
 		return nil, err
 	}
 	if a.Rows < a.Cols {
 		left := a.View(0, 0, a.Rows, a.Rows)
-		res, err := CAQRWithPool(left, opt, pool)
+		res, err := CAQRWithPoolCtx(ctx, left, opt, pool)
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +152,7 @@ func CAQRWithPool(a *matrix.Dense, opt Options, pool *sched.Pool) (*QRResult, er
 	b := newCAQRBuilder(a.Rows, a.Cols, &opt)
 	b.bind(a, res)
 	b.build()
-	events, err := runGraph(b.g, &opt, pool)
+	events, err := runGraph(ctx, b.g, &opt, pool)
 	res.Events = events
 	res.Graph = b.g
 	if err != nil {

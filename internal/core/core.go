@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -144,8 +145,10 @@ func priority(opt *Options, nBlocks, iter, col, bonus int) int {
 // runGraph executes a built graph on the given pool, or — when pool is nil
 // — on a private one-shot pool sized by opt.Workers. Task panics are
 // captured per submission and come back as the error; with a shared pool a
-// failed submission leaves the pool usable.
-func runGraph(g *sched.Graph, opt *Options, pool *sched.Pool) ([]sched.Event, error) {
+// failed submission leaves the pool usable. Cancellation of ctx is observed
+// between tasks: the submission drains without running its remaining tasks
+// and the returned error wraps ctx's error.
+func runGraph(ctx context.Context, g *sched.Graph, opt *Options, pool *sched.Pool) ([]sched.Event, error) {
 	if pool == nil {
 		pool = sched.NewPool(opt.Workers)
 		defer pool.Close()
@@ -154,7 +157,7 @@ func runGraph(g *sched.Graph, opt *Options, pool *sched.Pool) ([]sched.Event, er
 	if opt.WorkStealing {
 		so.Policy = sched.Stealing
 	}
-	sub, err := pool.Submit(g, so)
+	sub, err := pool.SubmitCtx(ctx, g, so)
 	if err != nil {
 		return nil, err
 	}

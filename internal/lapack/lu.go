@@ -84,7 +84,8 @@ func rgetf2(a *matrix.Dense, ipiv []int) error {
 	}
 	nl := k / 2
 	var err error
-	// Factor the left half recursively.
+	// Factor the left half recursively, keeping the first failure (LAPACK
+	// info convention).
 	left := a.View(0, 0, m, nl)
 	if e := rgetf2(left, ipiv[:nl]); e != nil {
 		err = e
@@ -100,8 +101,8 @@ func rgetf2(a *matrix.Dense, ipiv []int) error {
 	a21 := a.View(nl, 0, m-nl, nl)
 	a22 := right.View(nl, 0, m-nl, n-nl)
 	blas.Gemm(blas.NoTrans, blas.NoTrans, -1, a21, a12, 1, a22)
-	// Factor the trailing part recursively.
-	if e := rgetf2(a22, ipiv[nl:k]); e != nil {
+	// Factor the trailing part recursively; an earlier failure wins.
+	if e := rgetf2(a22, ipiv[nl:k]); e != nil && err == nil {
 		err = e
 	}
 	// Fix up pivot indices and pull the interchanges back across the left
@@ -129,9 +130,10 @@ func GETRF(a *matrix.Dense, ipiv []int, nb int) error {
 	var err error
 	for j := 0; j < k; j += nb {
 		jb := min(nb, k-j)
-		// Factor the panel A[j:m, j:j+jb] with the recursive kernel.
+		// Factor the panel A[j:m, j:j+jb] with the recursive kernel,
+		// keeping the first failure (LAPACK info convention).
 		panel := a.View(j, j, m-j, jb)
-		if e := RGETF2(panel, ipiv[j:j+jb]); e != nil {
+		if e := RGETF2(panel, ipiv[j:j+jb]); e != nil && err == nil {
 			err = e
 		}
 		// Globalize pivot indices.

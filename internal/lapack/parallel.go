@@ -1,11 +1,29 @@
 package lapack
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/blas"
 	"repro/internal/matrix"
 )
+
+// PanelError reports the leading column of the first panel whose
+// factorization failed, following LAPACK's info convention of surfacing the
+// earliest failure rather than the last. It unwraps to the underlying
+// error (ErrSingular for a zero pivot), so errors.Is keeps working.
+type PanelError struct {
+	// Col is the global index of the panel's leading column.
+	Col int
+	// Err is the panel kernel's error.
+	Err error
+}
+
+func (e *PanelError) Error() string {
+	return fmt.Sprintf("lapack: panel at column %d: %v", e.Col, e.Err)
+}
+
+func (e *PanelError) Unwrap() error { return e.Err }
 
 // parallelFor runs body(i) for i in [0, n) across at most workers
 // goroutines, blocking until all complete. With workers <= 1 it runs inline.
@@ -62,8 +80,10 @@ func PGETRF(a *matrix.Dense, ipiv []int, nb, workers int) error {
 	for j := 0; j < k; j += nb {
 		jb := min(nb, k-j)
 		panel := a.View(j, j, m-j, jb)
-		if e := RGETF2(panel, ipiv[j:j+jb]); e != nil {
-			err = e
+		// Keep the FIRST failure (LAPACK info convention): a later panel's
+		// singularity must not overwrite an earlier one's.
+		if e := RGETF2(panel, ipiv[j:j+jb]); e != nil && err == nil {
+			err = &PanelError{Col: j, Err: e}
 		}
 		for i := j; i < j+jb; i++ {
 			ipiv[i] += j

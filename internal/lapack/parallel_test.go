@@ -1,0 +1,59 @@
+package lapack
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// TestPGETRFReportsFirstSingularPanel is the regression test for the
+// info-convention bug: PGETRF used to overwrite an early panel's
+// singularity error with a later panel's, so callers saw the LAST failure
+// instead of the first. Build a matrix whose column 0 (panel 0) and column
+// 6 (panel 1 with nb=4) are both exactly zero: both panels report
+// ErrSingular, and the error surfaced must point at panel 0.
+func TestPGETRFReportsFirstSingularPanel(t *testing.T) {
+	const n, nb = 12, 4
+	a := matrix.Random(n, n, 31)
+	for i := 0; i < n; i++ {
+		a.Set(i, 0, 0) // first singular pivot in panel 0
+		a.Set(i, 6, 0) // second singular panel later (column 6 stays zero
+		// through the updates: its U12 entry is Trsm of a zero column and
+		// the GEMM update adds L21 times that zero)
+	}
+	ipiv := make([]int, n)
+	err := PGETRF(a, ipiv, nb, 2)
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("PGETRF = %v, want wrapped ErrSingular", err)
+	}
+	var pe *PanelError
+	if !errors.As(err, &pe) {
+		t.Fatalf("PGETRF error %T does not carry panel info", err)
+	}
+	if pe.Col != 0 {
+		t.Fatalf("PGETRF reported panel at column %d, want 0 (first failure)", pe.Col)
+	}
+}
+
+// TestPGETRFSingularStillFactorsRest mirrors LAPACK's INFO > 0 contract:
+// the factorization completes as far as possible despite the zero pivot.
+func TestPGETRFSingularStillFactorsRest(t *testing.T) {
+	const n, nb = 8, 4
+	a := matrix.Random(n, n, 33)
+	for i := 0; i < n; i++ {
+		a.Set(i, 2, 0)
+	}
+	ref := a.Clone()
+	ipiv := make([]int, n)
+	piv := make([]int, n)
+	if err := PGETRF(a, ipiv, nb, 3); !errors.Is(err, ErrSingular) {
+		t.Fatalf("PGETRF = %v, want ErrSingular", err)
+	}
+	if err := GETRF(ref, piv, nb); !errors.Is(err, ErrSingular) {
+		t.Fatalf("GETRF = %v, want ErrSingular", err)
+	}
+	if !a.EqualApprox(ref, 1e-13) {
+		t.Fatal("PGETRF factors diverge from GETRF on a singular matrix")
+	}
+}

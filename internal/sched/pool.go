@@ -2,6 +2,7 @@ package sched
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -11,6 +12,15 @@ import (
 
 // ErrPoolClosed is returned by Pool.Submit after Close.
 var ErrPoolClosed = errors.New("sched: pool is closed")
+
+// ErrCancelled marks a submission abandoned before all of its tasks ran:
+// its context was cancelled or expired, or the pool was shut down with
+// CloseWithTimeout while the submission was still in flight. Errors
+// returned by Submission.Wait on such paths wrap both ErrCancelled and the
+// underlying context error, so callers can test either
+// errors.Is(err, sched.ErrCancelled) or errors.Is(err, context.Canceled) /
+// context.DeadlineExceeded.
+var ErrCancelled = errors.New("sched: submission cancelled")
 
 // Policy selects how a submission's ready tasks are ordered among the
 // pool's workers.
@@ -95,6 +105,42 @@ func (p *Pool) Close() {
 	p.wg.Wait()
 }
 
+// CloseWithTimeout closes the pool like Close but bounds the wait: if the
+// in-flight submissions have not drained within d, every remaining
+// submission is cancelled — its unstarted tasks are skipped and its Wait
+// returns an error wrapping ErrCancelled and context.DeadlineExceeded — and
+// the workers are joined as soon as the tasks already executing finish (a
+// running task is never interrupted mid-kernel). It returns nil on a clean
+// drain and an error wrapping context.DeadlineExceeded when it had to
+// cancel. Like Close it is idempotent and safe to call concurrently with
+// Submit.
+func (p *Pool) CloseWithTimeout(d time.Duration) error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+
+	drained := make(chan struct{})
+	go func() { p.wg.Wait(); close(drained) }()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-drained:
+		return nil
+	case <-timer.C:
+	}
+	p.mu.Lock()
+	for _, s := range p.subs {
+		if s.failed == nil {
+			s.failed = fmt.Errorf("%w: pool close timed out: %w", ErrCancelled, context.DeadlineExceeded)
+		}
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+	return fmt.Errorf("sched: pool close timed out after %v: %w", d, context.DeadlineExceeded)
+}
+
 // Submission is one graph handed to a Pool: its own ready set, trace and
 // failure state. Wait blocks until every task has been accounted for.
 type Submission struct {
@@ -116,8 +162,28 @@ type Submission struct {
 // Submit validates g and enqueues it for execution. It returns immediately;
 // use Wait for completion. An empty graph completes at once.
 func (p *Pool) Submit(g *Graph, opt SubmitOptions) (*Submission, error) {
+	return p.SubmitCtx(context.Background(), g, opt)
+}
+
+// SubmitCtx is Submit bound to a context. Cancellation is observed between
+// tasks: once ctx is cancelled or its deadline expires, the submission stops
+// dispatching, its remaining tasks are drained without running (and without
+// leaving trace events), and Wait returns an error wrapping ErrCancelled
+// and ctx's error. A task already executing when the context fires is never
+// interrupted. Cancelling one submission does not disturb the pool or any
+// concurrent submission.
+//
+// An already-cancelled ctx rejects the submission outright: no task runs
+// and the wrapped context error is returned here rather than from Wait.
+func (p *Pool) SubmitCtx(ctx context.Context, g *Graph, opt SubmitOptions) (*Submission, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := g.Validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w before start: %w", ErrCancelled, err)
 	}
 	n := g.Len()
 	s := &Submission{pool: p, g: g, opt: opt, start: time.Now(), done: make(chan struct{})}
@@ -161,13 +227,47 @@ func (p *Pool) Submit(g *Graph, opt SubmitOptions) (*Submission, error) {
 	p.subs = append(p.subs, s)
 	p.mu.Unlock()
 	p.cond.Broadcast()
+	if ctx.Done() != nil {
+		// Watcher: marks the submission failed the moment the context fires,
+		// so workers skip (drain) everything not yet started. It exits as
+		// soon as the submission completes.
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.cancel(fmt.Errorf("%w: %w", ErrCancelled, ctx.Err()))
+			case <-s.done:
+			}
+		}()
+	}
 	return s, nil
+}
+
+// cancel marks the submission failed so that workers drain its remaining
+// tasks without running them. After completion it is a no-op; tasks already
+// executing finish normally.
+func (s *Submission) cancel(err error) {
+	p := s.pool
+	p.mu.Lock()
+	select {
+	case <-s.done:
+		p.mu.Unlock()
+		return
+	default:
+	}
+	if s.failed == nil {
+		s.failed = err
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
 }
 
 // Wait blocks until the submission has finished and returns its trace (nil
 // unless SubmitOptions.Trace) and the first task failure, if any. A task
 // panic is captured as an error; the remaining tasks of the submission are
 // drained without running, and the pool stays usable for other submissions.
+// Cancellation (SubmitCtx) surfaces the same way: the error wraps
+// ErrCancelled and the context's error. Drained tasks never appear in the
+// trace — an Event means the task actually executed.
 func (s *Submission) Wait() ([]Event, error) {
 	<-s.done
 	return s.events, s.failed
@@ -199,6 +299,10 @@ func (s *Submission) take(worker, workers int, rng *rand.Rand) *Task {
 			}
 			if q := s.deques[v]; len(q) > 0 {
 				t := q[0] // FIFO for thieves
+				// The re-slice below keeps the backing array alive for the
+				// submission's lifetime; nil the stolen slot so the task
+				// does not stay reachable through it.
+				q[0] = nil
 				s.deques[v] = q[1:]
 				return t
 			}
@@ -272,7 +376,9 @@ func (p *Pool) worker(id int) {
 		t1 := time.Since(s.start)
 
 		p.mu.Lock()
-		if s.opt.Trace {
+		// Tasks skipped while draining a failed or cancelled submission never
+		// ran; recording a span for them would make the trace lie.
+		if s.opt.Trace && !skip {
 			s.events = append(s.events, Event{TaskID: t.ID, Worker: id, Start: t0, End: t1})
 		}
 		if failure != nil && s.failed == nil {
