@@ -1,0 +1,178 @@
+// Command calint is the project's invariant linter: it loads and
+// type-checks in-module packages from source (stdlib only — no analysis
+// framework dependency) and runs the internal/analysis suite over them,
+// enforcing the executor stack's scratch-release, ctx-propagation,
+// error-contract and goroutine-hygiene rules that generic vet/staticcheck
+// cannot know. See doc/ANALYSIS.md.
+//
+// Usage:
+//
+//	go run ./cmd/calint ./...                 # whole module (CI entry point)
+//	go run ./cmd/calint ./internal/sched      # one package directory
+//	go run ./cmd/calint -checks error-contract,ctx-propagation ./...
+//	go run ./cmd/calint -as repro/internal/core ./internal/analysis/testdata/src/errcontract
+//
+// Exit status: 0 with no findings, 1 when diagnostics were reported, 2 on
+// usage or load errors. Findings can be suppressed at the offending line
+// with `// calint:ignore <check> [-- reason]`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("calint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the registered checks and exit")
+	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	asPath := fs.String("as", "", "masquerade import path for a single directory argument (fixture testing)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	checks, err := selectChecks(*checksFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calint:", err)
+		return 2
+	}
+	if *list {
+		for _, c := range checks {
+			fmt.Printf("%-20s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calint:", err)
+		return 2
+	}
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calint:", err)
+		return 2
+	}
+	if *asPath != "" && len(dirs) != 1 {
+		fmt.Fprintln(os.Stderr, "calint: -as requires exactly one directory argument")
+		return 2
+	}
+	exit := 0
+	for _, dir := range dirs {
+		var pkg *analysis.Package
+		var err error
+		if *asPath != "" {
+			pkg, err = loader.LoadAs(dir, *asPath)
+		} else {
+			pkg, err = loader.Load(dir)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calint:", err)
+			return 2
+		}
+		for _, d := range analysis.RunChecks(pkg, checks) {
+			fmt.Println(relativize(root, d))
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// selectChecks resolves the -checks flag against the registry.
+func selectChecks(csv string) ([]*analysis.Check, error) {
+	all := analysis.Checks()
+	if csv == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Check, len(all))
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	var out []*analysis.Check
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (have %s)", name, strings.Join(analysis.CheckNames(), ", "))
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns turns the command-line patterns into package directories:
+// "./..." (or any pattern ending in "/...") walks the tree below its
+// prefix; anything else names a single directory.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+			if prefix == "" || prefix == "." {
+				prefix = root
+			}
+			expanded, err := analysis.ModuleDirs(prefix)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range expanded {
+				if !seen[d] {
+					seen[d] = true
+					dirs = append(dirs, d)
+				}
+			}
+			continue
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[abs] {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	return dirs, nil
+}
+
+// relativize shortens diagnostic file paths to be module-relative.
+func relativize(root string, d analysis.Diagnostic) string {
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}

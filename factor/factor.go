@@ -178,7 +178,7 @@ func taskEvents(events []sched.Event, g *sched.Graph, workers int) []TaskEvent {
 // pivoting of a (m x n, m >= n), in place. The returned handle exposes
 // solves and the permutation; a itself holds L and U.
 func LU(a *Matrix, opt Options) (*LUFactorization, error) {
-	return LUCtx(context.Background(), a, opt)
+	return LUCtx(context.Background(), a, opt) // calint:ignore ctx-propagation -- documented ctx-free entry point
 }
 
 // LUCtx is LU bound to a context: if ctx is cancelled or its deadline
@@ -223,7 +223,7 @@ type QRFactorization struct {
 // m >= n), in place. Malformed inputs are reported as an ErrShape-wrapped
 // error.
 func QR(a *Matrix, opt Options) (*QRFactorization, error) {
-	return QRCtx(context.Background(), a, opt)
+	return QRCtx(context.Background(), a, opt) // calint:ignore ctx-propagation -- documented ctx-free entry point
 }
 
 // QRCtx is QR bound to a context, with the same cancellation semantics as

@@ -1,0 +1,14 @@
+package factor
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain fails the package if any test leaks a goroutine: Engine owns a
+// persistent pool, and every test that opens one must Close it.
+func TestMain(m *testing.M) {
+	os.Exit(testutil.LeakCheckMain(m))
+}

@@ -1,0 +1,198 @@
+// Package analysis is calint's project-specific static-analysis framework:
+// a stdlib-only (go/ast, go/parser, go/types, go/token) analyzer suite that
+// mechanically enforces the runtime invariants the executor stack documents
+// but generic linters cannot know:
+//
+//   - scratch-release: every internal/scratch acquisition is released on
+//     every return path of the acquiring function (doc/POOLING.md rule 3);
+//   - ctx-propagation: context-aware code uses the *Ctx entry points and
+//     library packages never mint context.Background()/TODO() of their own
+//     (doc/CANCELLATION.md);
+//   - error-contract: the numerical library packages panic only with typed
+//     errors and wrap sentinels with %w, so errors.Is survives the pool's
+//     panic-to-error recovery;
+//   - goroutine-hygiene: goroutines inside internal/sched go through the
+//     pool's recover path, never a naked `go func()`.
+//
+// Checks run over type-checked packages loaded from source by Loader; the
+// cmd/calint driver applies them to the whole module. Individual findings
+// can be suppressed with a `// calint:ignore <check> [-- reason]` comment
+// on the offending line or the line above it (see ignore.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding of one check.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Check is the name of the check that produced the finding.
+	Check string
+	// Message describes the violation and the expected idiom.
+	Message string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Check is one named invariant analyzer.
+type Check struct {
+	// Name identifies the check in diagnostics and ignore comments.
+	Name string
+	// Doc is a one-line description shown by `calint -list`.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Checks returns the full suite in a stable order.
+func Checks() []*Check {
+	return []*Check{
+		scratchReleaseCheck(),
+		ctxPropagationCheck(),
+		errorContractCheck(),
+		goroutineHygieneCheck(),
+	}
+}
+
+// CheckNames returns the names of every registered check.
+func CheckNames() []string {
+	var names []string
+	for _, c := range Checks() {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+// Pass hands one type-checked package to one check and collects its
+// diagnostics, applying ignore-comment suppression.
+type Pass struct {
+	check   string
+	fset    *token.FileSet
+	pkg     *Package
+	ignores ignoreIndex
+	diags   *[]Diagnostic
+}
+
+// Fset returns the file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.fset }
+
+// Files returns the package's parsed files (tests excluded).
+func (p *Pass) Files() []*ast.File { return p.pkg.Syntax }
+
+// PkgPath returns the package's import path. For packages loaded with
+// LoadAs (golden-test fixtures) this is the masqueraded path.
+func (p *Pass) PkgPath() string { return p.pkg.Path }
+
+// TypesInfo returns the package's type-checking results.
+func (p *Pass) TypesInfo() *types.Info { return p.pkg.Info }
+
+// Reportf records a diagnostic at pos unless an ignore comment suppresses
+// it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.fset.Position(pos)
+	if p.ignores.suppressed(p.check, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// RunChecks applies every given check to the package and returns the
+// surviving (non-suppressed) diagnostics sorted by position.
+func RunChecks(pkg *Package, checks []*Check) []Diagnostic {
+	var diags []Diagnostic
+	ignores := buildIgnoreIndex(pkg.Fset, pkg.Syntax)
+	for _, c := range checks {
+		pass := &Pass{
+			check:   c.Name,
+			fset:    pkg.Fset,
+			pkg:     pkg,
+			ignores: ignores,
+			diags:   &diags,
+		}
+		c.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if diags[i].Check != diags[j].Check {
+			return diags[i].Check < diags[j].Check
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags
+}
+
+// funcObj resolves a call expression's callee to its *types.Func, looking
+// through parentheses. It returns nil for builtins, conversions and
+// indirect calls through variables.
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call invokes the named function from a package
+// whose import path has the given suffix (suffix matching keeps fixtures
+// that import the real runtime packages working under any module root).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgSuffix, name string) bool {
+	f := funcObj(info, call)
+	if f == nil || f.Name() != name || f.Pkg() == nil {
+		return false
+	}
+	return hasPathSuffix(f.Pkg().Path(), pkgSuffix)
+}
+
+// hasPathSuffix reports whether path equals suffix or ends in "/"+suffix.
+func hasPathSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	n := len(path) - len(suffix)
+	return n > 0 && path[n-1] == '/' && path[n:] == suffix
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorType) || types.AssignableTo(t, errorType)
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted regex from a `// want "..."` expectation
+// comment in a fixture file.
+var wantRe = regexp.MustCompile(`want ("(?:[^"\\]|\\.)*")`)
+
+// expectation is one pending `// want` assertion in a fixture.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// TestGolden runs the full suite over each testdata fixture (masqueraded
+// onto the import path its checks are scoped to) and asserts that the
+// diagnostics match the fixture's `// want "regex"` comments exactly: every
+// want is matched by a diagnostic on its line, and no diagnostic escapes a
+// want.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		dir string // under testdata/src
+		as  string // masquerade import path
+	}{
+		{"scratchrelease", "repro/internal/scratchfix"},
+		{"ctxprop", "repro/internal/ctxlib"},
+		{"errcontract", "repro/internal/core/fixture"},
+		{"gohygiene", "repro/internal/sched/fixture"},
+		// Scope probe: the same Background() call that is a finding in a
+		// library package must be clean under cmd/.
+		{"cmdscope", "repro/cmd/cmdscope"},
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.dir)
+			pkg, err := loader.LoadAs(dir, tc.as)
+			if err != nil {
+				t.Fatalf("load %s: %v", tc.dir, err)
+			}
+			wants, err := collectWants(pkg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := RunChecks(pkg, Checks())
+			for _, d := range diags {
+				if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: want %q matched no diagnostic", w.file, w.line, w.pattern)
+				}
+			}
+		})
+	}
+}
+
+// collectWants scans the fixture's comments for `// want "..."` assertions.
+// The expectation applies to the comment's own line (trailing-comment
+// style).
+func collectWants(pkg *Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, file := range pkg.Syntax {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				raw, err := strconv.Unquote(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("bad want literal %s: %v", m[1], err)
+				}
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					return nil, fmt.Errorf("bad want regex %q: %v", raw, err)
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				wants = append(wants, &expectation{
+					file:    pos.Filename,
+					line:    pos.Line,
+					pattern: re,
+				})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// claim consumes the first unmatched expectation on the diagnostic's line
+// whose regex matches the message.
+func claim(wants []*expectation, file string, line int, message string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// TestCheckNamesStable pins the registry order and the names ignore
+// comments refer to.
+func TestCheckNamesStable(t *testing.T) {
+	got := strings.Join(CheckNames(), ",")
+	want := "scratch-release,ctx-propagation,error-contract,goroutine-hygiene"
+	if got != want {
+		t.Fatalf("CheckNames() = %s, want %s", got, want)
+	}
+}

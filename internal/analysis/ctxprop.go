@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// schedPkg is the import-path suffix of the executor package.
+const schedPkg = "internal/sched"
+
+// ctxPropagationCheck enforces doc/CANCELLATION.md's propagation rules:
+//
+//  1. A function that receives a context.Context must not call
+//     Pool.Submit — the context-blind entry point silently severs the
+//     caller's cancellation chain; SubmitCtx is the correct spelling.
+//  2. Library packages (anything under internal/ plus the public factor
+//     package) must not mint contexts of their own with
+//     context.Background() or context.TODO(): contexts flow in from the
+//     caller. Documented ctx-free convenience wrappers are the intended
+//     exception and carry a `// calint:ignore ctx-propagation` with their
+//     rationale.
+func ctxPropagationCheck() *Check {
+	return &Check{
+		Name: "ctx-propagation",
+		Doc:  "ctx-bearing functions must use SubmitCtx; library packages must not call context.Background/TODO",
+		Run:  runCtxPropagation,
+	}
+}
+
+func runCtxPropagation(pass *Pass) {
+	info := pass.TypesInfo()
+	library := isLibraryPath(pass)
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			hasCtx := funcHasCtxParam(info, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if hasCtx && isPoolSubmit(info, call) {
+					pass.Reportf(call.Pos(), "%s receives a context.Context but calls Pool.Submit, severing cancellation; use SubmitCtx (doc/CANCELLATION.md)", fn.Name.Name)
+				}
+				if library {
+					if isPkgFunc(info, call, "context", "Background") || isPkgFunc(info, call, "context", "TODO") {
+						name := "Background"
+						if isPkgFunc(info, call, "context", "TODO") {
+							name = "TODO"
+						}
+						pass.Reportf(call.Pos(), "library package %s calls context.%s(); accept a ctx from the caller instead (doc/CANCELLATION.md)", pass.PkgPath(), name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isLibraryPath reports whether the package is part of the library surface
+// the no-private-context rule covers: internal/... and factor (commands,
+// examples and the repo root are free to mint root contexts).
+func isLibraryPath(pass *Pass) bool {
+	rel := passRel(pass)
+	return rel == "factor" || strings.HasPrefix(rel, "factor/") ||
+		rel == "internal" || strings.HasPrefix(rel, "internal/")
+}
+
+// passRel returns the module-relative package path.
+func passRel(pass *Pass) string {
+	if rest, ok := strings.CutPrefix(pass.PkgPath(), pass.pkg.ModulePath+"/"); ok {
+		return rest
+	}
+	if pass.PkgPath() == pass.pkg.ModulePath {
+		return ""
+	}
+	return pass.PkgPath()
+}
+
+// funcHasCtxParam reports whether any parameter of fn (including unnamed
+// ones) has type context.Context.
+func funcHasCtxParam(info *types.Info, fn *ast.FuncDecl) bool {
+	obj, ok := info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isPoolSubmit reports a method call to (*sched.Pool).Submit.
+func isPoolSubmit(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	f, ok := selection.Obj().(*types.Func)
+	if !ok || f.Name() != "Submit" || f.Pkg() == nil {
+		return false
+	}
+	if !hasPathSuffix(f.Pkg().Path(), schedPkg) {
+		return false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Pool"
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// errContractPkgs lists the module-relative paths of the numerical library
+// packages bound by the typed-error contract (subpackages included).
+var errContractPkgs = []string{
+	"internal/lapack",
+	"internal/blas",
+	"internal/core",
+	"factor",
+}
+
+// errorContractCheck enforces the library error contract:
+//
+//  1. In the numerical library packages (internal/lapack, internal/blas,
+//     internal/core, factor) every panic must carry a typed error value —
+//     e.g. panic(fmt.Errorf("%w: ...", ErrShape, ...)) — never a bare
+//     string or Sprintf. The scheduler's recover path (sched.runTask)
+//     converts task panics into submission errors with %w, so a typed
+//     panic keeps errors.Is(err, ErrShape) working end to end while a
+//     bare one decays into an opaque string.
+//  2. Everywhere: a fmt.Errorf call that passes a typed sentinel
+//     (an exported error variable named Err...) must wrap it with %w, or
+//     errors.Is on the result silently stops matching.
+//
+// Test files are exempt (the loader never parses them).
+func errorContractCheck() *Check {
+	return &Check{
+		Name: "error-contract",
+		Doc:  "library packages panic only with typed errors; fmt.Errorf must wrap Err... sentinels with %w",
+		Run:  runErrorContract,
+	}
+}
+
+func runErrorContract(pass *Pass) {
+	info := pass.TypesInfo()
+	inLibrary := errContractScoped(pass)
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if inLibrary && isBuiltinPanic(info, call) && len(call.Args) == 1 {
+				if t := info.Types[call.Args[0]].Type; !implementsError(t) {
+					pass.Reportf(call.Pos(), "bare panic in library package %s; panic with a typed error (e.g. fmt.Errorf(\"%%w: ...\", ErrShape, ...)) so the pool's recover path preserves errors.Is", pass.PkgPath())
+				}
+			}
+			if isPkgFunc(info, call, "fmt", "Errorf") && len(call.Args) >= 2 {
+				checkErrorfWrap(pass, call)
+			}
+			return true
+		})
+	}
+}
+
+// errContractScoped reports whether the package is one of the
+// typed-panic-only library packages.
+func errContractScoped(pass *Pass) bool {
+	rel := passRel(pass)
+	for _, p := range errContractPkgs {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass more Err... sentinels
+// than the format string has %w verbs.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo()
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	wraps := strings.Count(format, "%w") - strings.Count(format, "%%w")
+	var sentinels []string
+	for _, arg := range call.Args[1:] {
+		if name, ok := sentinelName(info, arg); ok {
+			sentinels = append(sentinels, name)
+		}
+	}
+	if len(sentinels) > wraps {
+		pass.Reportf(call.Pos(), "fmt.Errorf passes sentinel %s without a matching %%w verb, so errors.Is will not match the result", strings.Join(sentinels, ", "))
+	}
+}
+
+// sentinelName reports whether arg is a reference to an error variable
+// whose name starts with "Err" (the project's sentinel convention).
+func sentinelName(info *types.Info, arg ast.Expr) (string, bool) {
+	var ident *ast.Ident
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		ident = e
+	case *ast.SelectorExpr:
+		ident = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := info.Uses[ident].(*types.Var)
+	if !ok || !strings.HasPrefix(v.Name(), "Err") || !implementsError(v.Type()) {
+		return "", false
+	}
+	return v.Name(), true
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// goroutineHygieneCheck enforces the scheduler's goroutine discipline:
+// every `go` statement inside internal/sched must route panics through a
+// recover path. A panic escaping a naked worker or watcher goroutine
+// crashes the whole process and takes every concurrent submission with it
+// — the exact failure isolation Pool.Submit's panic-to-error contract
+// exists to prevent.
+//
+// A `go` statement passes when:
+//   - its function literal installs a defer that calls recover()
+//     (directly or inside the deferred closure), or
+//   - it invokes a same-package named function whose body installs such a
+//     defer (the spawn helper pattern).
+func goroutineHygieneCheck() *Check {
+	return &Check{
+		Name: "goroutine-hygiene",
+		Doc:  "go statements in internal/sched must install a recover path (spawn helper or defer/recover)",
+		Run:  runGoroutineHygiene,
+	}
+}
+
+func runGoroutineHygiene(pass *Pass) {
+	rel := passRel(pass)
+	if rel != schedPkg && !strings.HasPrefix(rel, schedPkg+"/") {
+		return
+	}
+	info := pass.TypesInfo()
+	// Index same-package function bodies so `go namedFunc(...)` can be
+	// vetted against its callee.
+	bodies := make(map[*types.Func]*ast.BlockStmt)
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj, ok := info.Defs[fn.Name].(*types.Func); ok {
+					bodies[obj] = fn.Body
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				if !hasRecoverDefer(fun.Body) {
+					pass.Reportf(g.Pos(), "naked go func() in internal/sched: install a defer/recover or use the spawn helper so a panic fails one submission, not the process")
+				}
+			default:
+				callee := funcObj(info, g.Call)
+				if callee != nil {
+					if body, ok := bodies[callee]; ok && hasRecoverDefer(body) {
+						return true
+					}
+				}
+				pass.Reportf(g.Pos(), "go statement in internal/sched outside the pool's recover path: route it through the spawn helper or a function that defers recover()")
+			}
+			return true
+		})
+	}
+}
+
+// hasRecoverDefer reports whether the function body installs, at its top
+// level, a defer whose call (or deferred closure) reaches recover().
+func hasRecoverDefer(body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		d, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		if ident, ok := ast.Unparen(d.Call.Fun).(*ast.Ident); ok && ident.Name == "recover" {
+			return true
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok && callsRecover(lit.Body) {
+			return true
+		}
+	}
+	return false
+}
+
+// callsRecover reports whether the block contains a call to recover(),
+// not counting nested function literals.
+func callsRecover(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if ident, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && ident.Name == "recover" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

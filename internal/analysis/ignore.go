@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreMarker introduces a suppression comment:
+//
+//	// calint:ignore <check> [<check>...] [-- reason]
+//
+// The comment suppresses the named checks' diagnostics on its own line and
+// on the line immediately below it, so both trailing and leading placement
+// work:
+//
+//	return LUCtx(context.Background(), a, opt) // calint:ignore ctx-propagation -- ctx-free wrapper
+//
+//	// calint:ignore ctx-propagation -- ctx-free wrapper
+//	return LUCtx(context.Background(), a, opt)
+//
+// Everything after a "--" separator is free-form rationale; spelling out
+// why the invariant does not apply is strongly encouraged (see
+// doc/ANALYSIS.md).
+const ignoreMarker = "calint:ignore"
+
+// ignoreIndex maps filename -> line -> names of checks suppressed there.
+type ignoreIndex map[string]map[int][]string
+
+// buildIgnoreIndex scans every comment in the files for ignore markers.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	idx := make(ignoreIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, ignoreMarker)
+				if !ok {
+					continue
+				}
+				if reason := strings.Index(rest, "--"); reason >= 0 {
+					rest = rest[:reason]
+				}
+				checks := strings.Fields(rest)
+				if len(checks) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					idx[pos.Filename] = lines
+				}
+				// The marker covers its own line (trailing comment) and the
+				// next line (leading comment).
+				lines[pos.Line] = append(lines[pos.Line], checks...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], checks...)
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a diagnostic of the named check at pos is
+// covered by an ignore comment.
+func (idx ignoreIndex) suppressed(check string, pos token.Position) bool {
+	lines, ok := idx[pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, name := range lines[pos.Line] {
+		if name == check {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package as the checks see it: syntax, types
+// and the import path scope rules key on.
+type Package struct {
+	// Path is the package's import path; LoadAs may masquerade it so
+	// path-scoped checks can be exercised from fixture directories.
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// ModulePath is the enclosing module's path (from go.mod).
+	ModulePath string
+	// Fset positions all syntax.
+	Fset *token.FileSet
+	// Syntax holds the parsed non-test files, sorted by file name.
+	Syntax []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the type-checking results for Syntax.
+	Info *types.Info
+}
+
+// Rel returns the package's module-relative path ("" for the module root):
+// the scope key used by path-restricted checks like error-contract.
+func (p *Package) Rel() string {
+	if p.Path == p.ModulePath {
+		return ""
+	}
+	if rest, ok := strings.CutPrefix(p.Path, p.ModulePath+"/"); ok {
+		return rest
+	}
+	return p.Path
+}
+
+// Loader parses and type-checks in-module packages from source, resolving
+// module-internal imports against the module tree and everything else
+// (the standard library) through go/importer's source importer. It keeps a
+// cache so shared dependencies type-check once.
+type Loader struct {
+	// ModuleRoot is the absolute directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+
+	fset   *token.FileSet
+	stdlib types.Importer
+	pkgs   map[string]*Package
+}
+
+// NewLoader builds a loader for the module rooted at dir (the directory
+// holding go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       fset,
+		stdlib:     importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+	}, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Fset returns the loader's file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load type-checks the package in dir under its natural import path
+// (module path + module-relative directory).
+func (l *Loader) Load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("analysis: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	path := l.ModulePath
+	if rel != "." {
+		path = l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return l.LoadAs(abs, path)
+}
+
+// LoadAs type-checks the package in dir under an explicit import path.
+// Golden-test fixtures use it to masquerade as runtime packages so
+// path-scoped checks apply to them.
+func (l *Loader) LoadAs(dir, pkgPath string) (*Package, error) {
+	if p, ok := l.pkgs[pkgPath]; ok {
+		return p, nil
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	files, err := l.parseDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable non-test Go files in %s", abs)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", pkgPath, err)
+	}
+	p := &Package{
+		Path:       pkgPath,
+		Dir:        abs,
+		ModulePath: l.ModulePath,
+		Fset:       l.fset,
+		Syntax:     files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[pkgPath] = p
+	return p, nil
+}
+
+// parseDir parses every non-test .go file in dir, sorted by name for
+// deterministic diagnostics.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// loaderImporter adapts Loader to types.Importer: module-internal paths
+// resolve from source inside the module; everything else (stdlib) falls
+// through to the source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		dir := l.ModuleRoot
+		if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			dir = filepath.Join(l.ModuleRoot, filepath.FromSlash(rest))
+		}
+		p, err := l.LoadAs(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.stdlib.Import(path)
+}
+
+// ModuleDirs walks the module tree from root and returns every directory
+// containing at least one non-test .go file, skipping testdata, vendor,
+// hidden and VCS directories — the expansion of the "./..." pattern.
+func ModuleDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

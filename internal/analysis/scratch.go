@@ -1,0 +1,368 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// scratchPkg is the import-path suffix identifying the workspace pool
+// package whose acquire/release pairing the check enforces.
+const scratchPkg = "internal/scratch"
+
+// scratchReleaseCheck enforces doc/POOLING.md rule 3: every
+// scratch.Dense/scratch.Get acquisition must reach a matching
+// scratch.Release/scratch.Put on every return path of the acquiring
+// function — including early error and ctx.Err() returns — or be covered
+// by a defer. A buffer that escapes a return path is stranded the moment a
+// cancelled submission drains the task that would have freed it.
+//
+// The analysis is a structural must-release walk over the function body:
+// branches are analyzed with forked live-sets and re-joined with a union
+// (a buffer released on only one arm is still live after the join), loops
+// conservatively keep pre-loop acquisitions live, and a panic terminates a
+// path without a report (the pool's recover path turns panics into errors;
+// an unreleased pooled buffer on a panic path is garbage, not corruption).
+// Ownership transfer (returning or storing an acquired buffer) is outside
+// the invariant — release must happen in the acquiring function — so
+// intentional transfers need a `// calint:ignore scratch-release` with a
+// rationale.
+func scratchReleaseCheck() *Check {
+	return &Check{
+		Name: "scratch-release",
+		Doc:  "internal/scratch acquisitions must be released on every return path of the acquiring function",
+		Run:  runScratchRelease,
+	}
+}
+
+func runScratchRelease(pass *Pass) {
+	// The pool package itself hands buffers across its API boundary by
+	// design.
+	if hasPathSuffix(pass.PkgPath(), scratchPkg) {
+		return
+	}
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				sa := &scratchAnalysis{pass: pass, bound: make(map[token.Pos]bool)}
+				sa.analyzeFunc(body)
+				sa.reportUnbound(body)
+			}
+			// Keep descending: nested literals are analyzed as their own
+			// scopes when Inspect reaches them.
+			return true
+		})
+	}
+}
+
+// scratchAnalysis tracks live acquisitions through one function body.
+type scratchAnalysis struct {
+	pass *Pass
+	// bound records the positions of acquisition calls that were assigned
+	// to a trackable local; acquisitions outside that set (passed straight
+	// to another call, returned, stored in a composite) cannot be verified
+	// and are reported by reportUnbound.
+	bound map[token.Pos]bool
+}
+
+// reportUnbound flags acquisition calls the dataflow walk could not bind
+// to a local variable, excluding nested literals (they run their own
+// analysis).
+func (sa *scratchAnalysis) reportUnbound(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !sa.isAcquire(call) || sa.bound[call.Pos()] {
+			return true
+		}
+		sa.pass.Reportf(call.Pos(), "scratch acquisition is not bound to a local variable, so no release can be verified")
+		return true
+	})
+}
+
+// liveSet maps an acquired variable to its acquisition position.
+type liveSet map[*types.Var]token.Pos
+
+func (ls liveSet) clone() liveSet {
+	out := make(liveSet, len(ls))
+	for v, pos := range ls {
+		out[v] = pos
+	}
+	return out
+}
+
+// analyzeFunc walks the body; falling off the end of the function is an
+// implicit return and must not leave live acquisitions either.
+func (sa *scratchAnalysis) analyzeFunc(body *ast.BlockStmt) {
+	live := make(liveSet)
+	terminated := sa.analyzeStmts(body.List, live)
+	if !terminated {
+		sa.reportLive(live, body.Rbrace, "function end")
+	}
+}
+
+// analyzeStmts processes a statement list sequentially, mutating live, and
+// reports acquisitions still live at each reachable return. It returns
+// true when the list always terminates (return, panic, or branch) before
+// falling through.
+func (sa *scratchAnalysis) analyzeStmts(stmts []ast.Stmt, live liveSet) bool {
+	for _, stmt := range stmts {
+		if sa.analyzeStmt(stmt, live) {
+			return true
+		}
+	}
+	return false
+}
+
+// analyzeStmt handles one statement; the return value reports whether the
+// statement always terminates the enclosing path.
+func (sa *scratchAnalysis) analyzeStmt(stmt ast.Stmt, live liveSet) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		sa.recordAcquisitions(s, live)
+		return false
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if sa.isRelease(call) {
+				sa.kill(call, live)
+				return false
+			}
+			if isBuiltinPanic(sa.pass.TypesInfo(), call) {
+				// Unwinding discards the path; recovered panics surface as
+				// task errors and the pooled buffer is plain garbage.
+				return true
+			}
+		}
+		return false
+
+	case *ast.DeferStmt:
+		// A deferred release covers every return after registration.
+		if sa.isRelease(s.Call) {
+			sa.kill(s.Call, live)
+		}
+		return false
+
+	case *ast.ReturnStmt:
+		sa.reportLive(live, s.Return, "this return")
+		return true
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave the current path; the loop join below
+		// keeps pre-loop acquisitions conservatively live.
+		return true
+
+	case *ast.BlockStmt:
+		return sa.analyzeStmts(s.List, live)
+
+	case *ast.LabeledStmt:
+		return sa.analyzeStmt(s.Stmt, live)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			sa.analyzeStmt(s.Init, live)
+		}
+		thenLive := live.clone()
+		thenTerm := sa.analyzeStmts(s.Body.List, thenLive)
+		elseLive := live.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = sa.analyzeStmt(s.Else, elseLive)
+		}
+		joinBranches(live, []liveSet{thenLive, elseLive}, []bool{thenTerm, elseTerm})
+		return thenTerm && elseTerm && s.Else != nil
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			sa.analyzeStmt(s.Init, live)
+		}
+		bodyLive := live.clone()
+		sa.analyzeStmts(s.Body.List, bodyLive)
+		joinBranches(live, []liveSet{bodyLive}, []bool{false})
+		return false
+
+	case *ast.RangeStmt:
+		bodyLive := live.clone()
+		sa.analyzeStmts(s.Body.List, bodyLive)
+		joinBranches(live, []liveSet{bodyLive}, []bool{false})
+		return false
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var clauses []ast.Stmt
+		hasDefault := false
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				sa.analyzeStmt(sw.Init, live)
+			}
+			clauses = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			if sw.Init != nil {
+				sa.analyzeStmt(sw.Init, live)
+			}
+			clauses = sw.Body.List
+		case *ast.SelectStmt:
+			clauses = sw.Body.List
+		}
+		var arms []liveSet
+		var terms []bool
+		for _, clause := range clauses {
+			var body []ast.Stmt
+			switch c := clause.(type) {
+			case *ast.CaseClause:
+				body = c.Body
+				hasDefault = hasDefault || c.List == nil
+			case *ast.CommClause:
+				body = c.Body
+				hasDefault = hasDefault || c.Comm == nil
+			}
+			armLive := live.clone()
+			arms = append(arms, armLive)
+			terms = append(terms, sa.analyzeStmts(body, armLive))
+		}
+		allTerm := len(arms) > 0 && hasDefault
+		for _, t := range terms {
+			allTerm = allTerm && t
+		}
+		joinBranches(live, arms, terms)
+		return allTerm
+
+	default:
+		// Declarations, sends, go statements, inc/dec: no effect on the
+		// live set (nested literals are analyzed independently).
+		return false
+	}
+}
+
+// joinBranches merges branch live-sets back into live: an acquisition made
+// on any non-terminating arm stays live, and an acquisition released on
+// only some continuing arms stays live too (must-release).
+func joinBranches(live liveSet, arms []liveSet, terms []bool) {
+	// Release in the pre-state counts only if every continuing arm agrees.
+	for v := range live {
+		releasedEverywhere := true
+		for i, arm := range arms {
+			if terms[i] {
+				continue
+			}
+			if _, still := arm[v]; still {
+				releasedEverywhere = false
+				break
+			}
+		}
+		if releasedEverywhere && anyContinues(terms, arms) {
+			delete(live, v)
+		}
+	}
+	// New acquisitions on continuing arms flow out.
+	for i, arm := range arms {
+		if terms[i] {
+			continue
+		}
+		for v, pos := range arm {
+			if _, ok := live[v]; !ok {
+				live[v] = pos
+			}
+		}
+	}
+}
+
+// anyContinues reports whether at least one arm falls through the join.
+func anyContinues(terms []bool, arms []liveSet) bool {
+	if len(arms) == 0 {
+		return false
+	}
+	for _, t := range terms {
+		if !t {
+			return true
+		}
+	}
+	return false
+}
+
+// recordAcquisitions registers scratch acquisitions assigned to local
+// variables.
+func (sa *scratchAnalysis) recordAcquisitions(s *ast.AssignStmt, live liveSet) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	info := sa.pass.TypesInfo()
+	for i, rhs := range s.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !sa.isAcquire(call) {
+			continue
+		}
+		// Mark the call handled so reportUnbound does not flag it twice.
+		sa.bound[call.Pos()] = true
+		ident, ok := s.Lhs[i].(*ast.Ident)
+		if !ok || ident.Name == "_" {
+			// An acquisition whose result is discarded or stored through a
+			// non-identifier (field, index) can never be proven released;
+			// report at once.
+			sa.pass.Reportf(call.Pos(), "scratch acquisition is not bound to a local variable, so no release can be verified")
+			continue
+		}
+		obj := info.Defs[ident]
+		if obj == nil {
+			obj = info.Uses[ident]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			live[v] = call.Pos()
+		}
+	}
+}
+
+// isAcquire reports a call to scratch.Dense or scratch.Get.
+func (sa *scratchAnalysis) isAcquire(call *ast.CallExpr) bool {
+	info := sa.pass.TypesInfo()
+	return isPkgFunc(info, call, scratchPkg, "Dense") || isPkgFunc(info, call, scratchPkg, "Get")
+}
+
+// isRelease reports a call to scratch.Release or scratch.Put.
+func (sa *scratchAnalysis) isRelease(call *ast.CallExpr) bool {
+	info := sa.pass.TypesInfo()
+	return isPkgFunc(info, call, scratchPkg, "Release") || isPkgFunc(info, call, scratchPkg, "Put")
+}
+
+// kill removes the released variable from the live set.
+func (sa *scratchAnalysis) kill(call *ast.CallExpr, live liveSet) {
+	info := sa.pass.TypesInfo()
+	for _, arg := range call.Args {
+		ident, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if v, ok := info.Uses[ident].(*types.Var); ok {
+			delete(live, v)
+		}
+	}
+}
+
+// reportLive emits one diagnostic per live acquisition at a path exit.
+func (sa *scratchAnalysis) reportLive(live liveSet, at token.Pos, where string) {
+	for v, pos := range live {
+		acquired := sa.pass.Fset().Position(pos)
+		sa.pass.Reportf(at, "scratch buffer %q acquired at line %d is not released on %s; release it on every path (doc/POOLING.md rule 3)", v.Name(), acquired.Line, where)
+	}
+}
+
+// isBuiltinPanic reports a direct call to the builtin panic.
+func isBuiltinPanic(info *types.Info, call *ast.CallExpr) bool {
+	ident, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || ident.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := info.Uses[ident].(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,12 @@
+// Package cmdscope is a golden-test fixture proving the path scoping of
+// ctx-propagation: loaded masqueraded as "repro/cmd/cmdscope" it must
+// produce zero diagnostics, because commands are entitled to mint the
+// process root context.
+package cmdscope
+
+import "context"
+
+// Root builds the process root context.
+func Root() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,47 @@
+// Package ctxprop is a golden-test fixture for the ctx-propagation check.
+// The golden test loads it masqueraded as "repro/internal/ctxlib" so the
+// library-package scope rules apply.
+package ctxprop
+
+import (
+	"context"
+
+	"repro/internal/sched"
+)
+
+// SubmitWithCtx receives a ctx but calls the context-blind entry point,
+// severing the caller's cancellation chain.
+func SubmitWithCtx(ctx context.Context, p *sched.Pool, g *sched.Graph) error {
+	_, err := p.Submit(g, sched.SubmitOptions{}) // want "receives a context.Context but calls Pool.Submit"
+	_ = ctx
+	return err
+}
+
+// SubmitCtxOK propagates the ctx through SubmitCtx.
+func SubmitCtxOK(ctx context.Context, p *sched.Pool, g *sched.Graph) error {
+	_, err := p.SubmitCtx(ctx, g, sched.SubmitOptions{})
+	return err
+}
+
+// NoCtxSubmitOK has no ctx parameter, so Submit is the honest spelling.
+func NoCtxSubmitOK(p *sched.Pool, g *sched.Graph) error {
+	_, err := p.Submit(g, sched.SubmitOptions{})
+	return err
+}
+
+// MintBackground mints a root context inside a library package.
+func MintBackground(p *sched.Pool, g *sched.Graph) error {
+	_, err := p.SubmitCtx(context.Background(), g, sched.SubmitOptions{}) // want "calls context.Background"
+	return err
+}
+
+// MintTODO leaks a placeholder context out of a library package.
+func MintTODO() context.Context {
+	return context.TODO() // want "calls context.TODO"
+}
+
+// SuppressedBridge is the documented ctx-free convenience-wrapper pattern.
+func SuppressedBridge(p *sched.Pool, g *sched.Graph) error {
+	_, err := p.SubmitCtx(context.Background(), g, sched.SubmitOptions{}) // calint:ignore ctx-propagation -- documented ctx-free wrapper
+	return err
+}

@@ -1,0 +1,55 @@
+// Package errcontract is a golden-test fixture for the error-contract
+// check. The golden test loads it masqueraded as
+// "repro/internal/core/fixture" so the library typed-panic rule applies.
+package errcontract
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShape mirrors the project's sentinel convention.
+var ErrShape = errors.New("fixture: dimension mismatch")
+
+// BarePanicString panics with an untyped string.
+func BarePanicString(n int) {
+	if n < 0 {
+		panic("negative dimension") // want "bare panic in library package"
+	}
+}
+
+// SprintfPanic formats a string but still panics untyped.
+func SprintfPanic(r, c int) {
+	if r != c {
+		panic(fmt.Sprintf("non-square: %dx%d", r, c)) // want "bare panic in library package"
+	}
+}
+
+// TypedPanicOK carries the sentinel through the panic value.
+func TypedPanicOK(n int) {
+	if n < 0 {
+		panic(fmt.Errorf("%w: negative dimension %d", ErrShape, n))
+	}
+}
+
+// ErrorsNewPanicOK panics with any error value.
+func ErrorsNewPanicOK() {
+	panic(errors.New("typed failure"))
+}
+
+// UnwrappedSentinel formats the sentinel with %v, breaking errors.Is.
+func UnwrappedSentinel(n int) error {
+	return fmt.Errorf("%v: bad dimension %d", ErrShape, n) // want "passes sentinel ErrShape without a matching"
+}
+
+// WrappedSentinelOK wraps with %w as the contract requires.
+func WrappedSentinelOK(n int) error {
+	return fmt.Errorf("%w: bad dimension %d", ErrShape, n)
+}
+
+// SuppressedPanic documents an intentionally unreachable guard.
+func SuppressedPanic(ok bool) {
+	if !ok {
+		panic("unreachable by construction") // calint:ignore error-contract -- proven unreachable guard
+	}
+}

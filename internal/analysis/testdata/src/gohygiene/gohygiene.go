@@ -1,0 +1,50 @@
+// Package gohygiene is a golden-test fixture for the goroutine-hygiene
+// check. The golden test loads it masqueraded as
+// "repro/internal/sched/fixture" so the scheduler scope applies.
+package gohygiene
+
+// NakedGo spawns with no recover path: a panic here kills the process.
+func NakedGo(ch chan int) {
+	go func() { // want "naked go func"
+		ch <- 1
+	}()
+}
+
+// RecoverDeferOK installs a defer/recover inline.
+func RecoverDeferOK(ch chan int) {
+	go func() {
+		defer func() {
+			_ = recover()
+		}()
+		ch <- 1
+	}()
+}
+
+// SpawnHelperOK routes through a named same-package helper that defers
+// recover — the spawn-helper pattern.
+func SpawnHelperOK(ch chan int) {
+	go guarded(ch)
+}
+
+func guarded(ch chan int) {
+	defer func() {
+		_ = recover()
+	}()
+	ch <- 1
+}
+
+// NamedWithoutRecover spawns a helper that never recovers.
+func NamedWithoutRecover(ch chan int) {
+	go unguarded(ch) // want "outside the pool's recover path"
+}
+
+func unguarded(ch chan int) {
+	ch <- 1
+}
+
+// Suppressed documents a goroutine that cannot panic.
+func Suppressed(done chan struct{}) {
+	go func() { // calint:ignore goroutine-hygiene -- close of an owned channel cannot panic
+		close(done)
+	}()
+}

@@ -1,0 +1,119 @@
+// Package scratchrelease is a golden-test fixture for the scratch-release
+// check: functions below exercise release-on-every-path, defer coverage,
+// branch joins and the early-error-return leak the check exists to catch.
+package scratchrelease
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/matrix"
+	"repro/internal/scratch"
+)
+
+var errBoom = errors.New("boom")
+
+// LinearOK acquires and releases on the single path.
+func LinearOK(r, c int) {
+	buf := scratch.Dense(r, c)
+	_ = buf
+	scratch.Release(buf)
+}
+
+// DeferOK covers every return with a deferred release.
+func DeferOK(r, c int, fail bool) error {
+	buf := scratch.Dense(r, c)
+	defer scratch.Release(buf)
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// SliceOK pairs Get with Put.
+func SliceOK(n int) {
+	s := scratch.Get(n)
+	_ = s
+	scratch.Put(s)
+}
+
+// EarlyReturnLeak skips the release on the error path — the exact bug a
+// cancelled submission turns into a stranded workspace.
+func EarlyReturnLeak(r, c int, fail bool) error {
+	buf := scratch.Dense(r, c)
+	if fail {
+		return errBoom // want "scratch buffer \"buf\" acquired at line \\d+ is not released on this return"
+	}
+	scratch.Release(buf)
+	return nil
+}
+
+// CtxLeak returns on ctx.Err() without releasing.
+func CtxLeak(ctx context.Context, n int) error {
+	s := scratch.Get(n)
+	if err := ctx.Err(); err != nil {
+		return err // want "scratch buffer \"s\" acquired at line \\d+ is not released on this return"
+	}
+	scratch.Put(s)
+	return nil
+}
+
+// FallOffEndLeak never releases at all.
+func FallOffEndLeak(r, c int) {
+	buf := scratch.Dense(r, c)
+	_ = buf
+} // want "scratch buffer \"buf\" acquired at line \\d+ is not released on function end"
+
+// BothBranchesOK releases on each arm.
+func BothBranchesOK(r, c int, flip bool) {
+	buf := scratch.Dense(r, c)
+	if flip {
+		scratch.Release(buf)
+	} else {
+		scratch.Release(buf)
+	}
+}
+
+// OneBranchLeak releases on only one arm, so the join keeps it live.
+func OneBranchLeak(r, c int, flip bool) {
+	buf := scratch.Dense(r, c)
+	if flip {
+		scratch.Release(buf)
+	}
+} // want "scratch buffer \"buf\" acquired at line \\d+ is not released on function end"
+
+// PanicPathOK may panic between acquire and release: unwinding is not a
+// return path (the pool's recover turns it into a task error).
+func PanicPathOK(r, c int, bad bool) {
+	buf := scratch.Dense(r, c)
+	if bad {
+		panic("invariant violated")
+	}
+	scratch.Release(buf)
+}
+
+// ClosureScopes analyzes the literal as its own function.
+func ClosureScopes(r, c int, fail bool) func() error {
+	return func() error {
+		buf := scratch.Dense(r, c)
+		if fail {
+			return errBoom // want "scratch buffer \"buf\" acquired at line \\d+ is not released on this return"
+		}
+		scratch.Release(buf)
+		return nil
+	}
+}
+
+// UnboundAcquire discards the buffer, so no release is verifiable.
+func UnboundAcquire(r, c int) *matrix.Dense {
+	return transform(scratch.Dense(r, c)) // want "scratch acquisition is not bound to a local variable"
+}
+
+func transform(d *matrix.Dense) *matrix.Dense { return d }
+
+// SuppressedTransfer hands ownership out on purpose; the ignore comment
+// documents it.
+func SuppressedTransfer(r, c int) *matrix.Dense {
+	buf := scratch.Dense(r, c)
+	return buf // calint:ignore scratch-release -- ownership transfer to caller, released by Close
+}

@@ -19,7 +19,7 @@ func Gemm(transA, transB Transpose, alpha float64, a, b *matrix.Dense, beta floa
 		kb, n = b.Cols, b.Rows
 	}
 	if ka != kb || c.Rows != m || c.Cols != n {
-		panic(fmt.Sprintf("blas: Gemm shape mismatch op(A)=%dx%d op(B)=%dx%d C=%dx%d", m, ka, kb, n, c.Rows, c.Cols))
+		panic(fmt.Errorf("%w: Gemm shape mismatch op(A)=%dx%d op(B)=%dx%d C=%dx%d", ErrShape, m, ka, kb, n, c.Rows, c.Cols))
 	}
 	Dgemm(transA, transB, m, n, ka, alpha, a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
 }
@@ -43,14 +43,14 @@ func Mul(transA, transB Transpose, a, b *matrix.Dense) *matrix.Dense {
 // operands; A must be square and match the corresponding dimension of B.
 func Trsm(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, a, b *matrix.Dense) {
 	if a.Rows != a.Cols {
-		panic(fmt.Sprintf("blas: Trsm triangular matrix not square: %dx%d", a.Rows, a.Cols))
+		panic(fmt.Errorf("%w: Trsm triangular matrix not square: %dx%d", ErrShape, a.Rows, a.Cols))
 	}
 	need := b.Rows
 	if side == Right {
 		need = b.Cols
 	}
 	if a.Rows != need {
-		panic(fmt.Sprintf("blas: Trsm dimension mismatch A=%d B=%dx%d side=%v", a.Rows, b.Rows, b.Cols, side))
+		panic(fmt.Errorf("%w: Trsm dimension mismatch A=%d B=%dx%d side=%v", ErrShape, a.Rows, b.Rows, b.Cols, side))
 	}
 	Dtrsm(side, uplo, trans, diag, b.Rows, b.Cols, alpha, a.Data, a.Stride, b.Data, b.Stride)
 }
@@ -59,14 +59,14 @@ func Trsm(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, a, b 
 // operands.
 func Trmm(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, a, b *matrix.Dense) {
 	if a.Rows != a.Cols {
-		panic(fmt.Sprintf("blas: Trmm triangular matrix not square: %dx%d", a.Rows, a.Cols))
+		panic(fmt.Errorf("%w: Trmm triangular matrix not square: %dx%d", ErrShape, a.Rows, a.Cols))
 	}
 	need := b.Rows
 	if side == Right {
 		need = b.Cols
 	}
 	if a.Rows != need {
-		panic(fmt.Sprintf("blas: Trmm dimension mismatch A=%d B=%dx%d side=%v", a.Rows, b.Rows, b.Cols, side))
+		panic(fmt.Errorf("%w: Trmm dimension mismatch A=%d B=%dx%d side=%v", ErrShape, a.Rows, b.Rows, b.Cols, side))
 	}
 	Dtrmm(side, uplo, trans, diag, b.Rows, b.Cols, alpha, a.Data, a.Stride, b.Data, b.Stride)
 }

@@ -1,0 +1,10 @@
+package blas
+
+import "errors"
+
+// ErrShape is the typed sentinel carried by every argument-validation
+// panic in this package (the xerbla analogue). Panicking with
+// fmt.Errorf("%w: ...", ErrShape, ...) keeps errors.Is(err, blas.ErrShape)
+// working after the scheduler's recover path converts a task panic into a
+// submission error.
+var ErrShape = errors.New("blas: invalid argument")

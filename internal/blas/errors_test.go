@@ -1,0 +1,31 @@
+package blas
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// TestShapePanicIsTyped pins the error contract calint enforces: an
+// argument-validation panic must carry ErrShape so errors.Is keeps
+// working after the scheduler's recover path converts it into an error.
+func TestShapePanicIsTyped(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a shape panic")
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("panic value is %T, want error", r)
+		}
+		if !errors.Is(err, ErrShape) {
+			t.Fatalf("errors.Is(%v, ErrShape) = false", err)
+		}
+	}()
+	a := matrix.New(2, 3)
+	b := matrix.New(4, 5)
+	c := matrix.New(2, 2)
+	Gemm(NoTrans, NoTrans, 1, a, b, 0, c)
+}

@@ -23,7 +23,7 @@ func Idamax(n int, x []float64, incX int) int {
 		return -1
 	}
 	if incX <= 0 {
-		panic(fmt.Sprintf("blas: bad increment %d", incX))
+		panic(fmt.Errorf("%w: bad increment %d", ErrShape, incX))
 	}
 	best, bestAbs := 0, math.Abs(x[0])
 	idx := incX
@@ -42,7 +42,7 @@ func Dscal(n int, alpha float64, x []float64, incX int) {
 		return
 	}
 	if incX <= 0 {
-		panic(fmt.Sprintf("blas: bad increment %d", incX))
+		panic(fmt.Errorf("%w: bad increment %d", ErrShape, incX))
 	}
 	if incX == 1 {
 		for i := 0; i < n; i++ {
@@ -61,7 +61,7 @@ func Daxpy(n int, alpha float64, x []float64, incX int, y []float64, incY int) {
 		return
 	}
 	if incX <= 0 || incY <= 0 {
-		panic(fmt.Sprintf("blas: bad increments %d %d", incX, incY))
+		panic(fmt.Errorf("%w: bad increments %d %d", ErrShape, incX, incY))
 	}
 	if incX == 1 && incY == 1 {
 		x = x[:n]
@@ -85,7 +85,7 @@ func Ddot(n int, x []float64, incX int, y []float64, incY int) float64 {
 		return 0
 	}
 	if incX <= 0 || incY <= 0 {
-		panic(fmt.Sprintf("blas: bad increments %d %d", incX, incY))
+		panic(fmt.Errorf("%w: bad increments %d %d", ErrShape, incX, incY))
 	}
 	sum := 0.0
 	if incX == 1 && incY == 1 {
@@ -112,7 +112,7 @@ func Dnrm2(n int, x []float64, incX int) float64 {
 		return 0
 	}
 	if incX <= 0 {
-		panic(fmt.Sprintf("blas: bad increment %d", incX))
+		panic(fmt.Errorf("%w: bad increment %d", ErrShape, incX))
 	}
 	scale, ssq := 0.0, 1.0
 	idx := 0
@@ -137,7 +137,7 @@ func Dswap(n int, x []float64, incX int, y []float64, incY int) {
 		return
 	}
 	if incX <= 0 || incY <= 0 {
-		panic(fmt.Sprintf("blas: bad increments %d %d", incX, incY))
+		panic(fmt.Errorf("%w: bad increments %d %d", ErrShape, incX, incY))
 	}
 	ix, iy := 0, 0
 	for i := 0; i < n; i++ {
@@ -153,7 +153,7 @@ func Dcopy(n int, x []float64, incX int, y []float64, incY int) {
 		return
 	}
 	if incX <= 0 || incY <= 0 {
-		panic(fmt.Sprintf("blas: bad increments %d %d", incX, incY))
+		panic(fmt.Errorf("%w: bad increments %d %d", ErrShape, incX, incY))
 	}
 	if incX == 1 && incY == 1 {
 		copy(y[:n], x[:n])

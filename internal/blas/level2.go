@@ -43,7 +43,7 @@ const (
 // with leading dimension lda.
 func Dger(m, n int, alpha float64, x []float64, incX int, y []float64, incY int, a []float64, lda int) {
 	if m < 0 || n < 0 || lda < max(1, m) {
-		panic(fmt.Sprintf("blas: Dger bad dims m=%d n=%d lda=%d", m, n, lda))
+		panic(fmt.Errorf("%w: Dger bad dims m=%d n=%d lda=%d", ErrShape, m, n, lda))
 	}
 	if m == 0 || n == 0 || alpha == 0 {
 		return
@@ -73,7 +73,7 @@ func Dger(m, n int, alpha float64, x []float64, incX int, y []float64, incY int,
 // Dgemv computes y = alpha*op(A)*x + beta*y for an m x n matrix A.
 func Dgemv(trans Transpose, m, n int, alpha float64, a []float64, lda int, x []float64, incX int, beta float64, y []float64, incY int) {
 	if m < 0 || n < 0 || lda < max(1, m) {
-		panic(fmt.Sprintf("blas: Dgemv bad dims m=%d n=%d lda=%d", m, n, lda))
+		panic(fmt.Errorf("%w: Dgemv bad dims m=%d n=%d lda=%d", ErrShape, m, n, lda))
 	}
 	lenY := m
 	if trans == Trans {
@@ -142,13 +142,13 @@ func Dgemv(trans Transpose, m, n int, alpha float64, a []float64, lda int, x []f
 // matrix A.
 func Dtrsv(uplo Uplo, trans Transpose, diag Diag, n int, a []float64, lda int, x []float64, incX int) {
 	if n < 0 || lda < max(1, n) {
-		panic(fmt.Sprintf("blas: Dtrsv bad dims n=%d lda=%d", n, lda))
+		panic(fmt.Errorf("%w: Dtrsv bad dims n=%d lda=%d", ErrShape, n, lda))
 	}
 	if n == 0 {
 		return
 	}
 	if incX != 1 {
-		panic("blas: Dtrsv requires incX == 1")
+		panic(fmt.Errorf("%w: Dtrsv requires incX == 1", ErrShape))
 	}
 	switch {
 	case uplo == Lower && trans == NoTrans:
@@ -201,13 +201,13 @@ func Dtrsv(uplo Uplo, trans Transpose, diag Diag, n int, a []float64, lda int, x
 // Dtrmv computes x = op(A)*x for a triangular n x n matrix A.
 func Dtrmv(uplo Uplo, trans Transpose, diag Diag, n int, a []float64, lda int, x []float64, incX int) {
 	if n < 0 || lda < max(1, n) {
-		panic(fmt.Sprintf("blas: Dtrmv bad dims n=%d lda=%d", n, lda))
+		panic(fmt.Errorf("%w: Dtrmv bad dims n=%d lda=%d", ErrShape, n, lda))
 	}
 	if n == 0 {
 		return
 	}
 	if incX != 1 {
-		panic("blas: Dtrmv requires incX == 1")
+		panic(fmt.Errorf("%w: Dtrmv requires incX == 1", ErrShape))
 	}
 	switch {
 	case uplo == Upper && trans == NoTrans:

@@ -24,7 +24,7 @@ func Dgemm(transA, transB Transpose, m, n, k int, alpha float64, a []float64, ld
 		rowB = n
 	}
 	if m < 0 || n < 0 || k < 0 || lda < max(1, rowA) || ldb < max(1, rowB) || ldc < max(1, m) {
-		panic(fmt.Sprintf("blas: Dgemm bad dims m=%d n=%d k=%d lda=%d ldb=%d ldc=%d", m, n, k, lda, ldb, ldc))
+		panic(fmt.Errorf("%w: Dgemm bad dims m=%d n=%d k=%d lda=%d ldb=%d ldc=%d", ErrShape, m, n, k, lda, ldb, ldc))
 	}
 	if m == 0 || n == 0 {
 		return
@@ -164,7 +164,7 @@ func Dtrsm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha flo
 		na = n
 	}
 	if m < 0 || n < 0 || lda < max(1, na) || ldb < max(1, m) {
-		panic(fmt.Sprintf("blas: Dtrsm bad dims m=%d n=%d lda=%d ldb=%d", m, n, lda, ldb))
+		panic(fmt.Errorf("%w: Dtrsm bad dims m=%d n=%d lda=%d ldb=%d", ErrShape, m, n, lda, ldb))
 	}
 	if m == 0 || n == 0 {
 		return
@@ -279,7 +279,7 @@ func Dtrmm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha flo
 		na = n
 	}
 	if m < 0 || n < 0 || lda < max(1, na) || ldb < max(1, m) {
-		panic(fmt.Sprintf("blas: Dtrmm bad dims m=%d n=%d lda=%d ldb=%d", m, n, lda, ldb))
+		panic(fmt.Errorf("%w: Dtrmm bad dims m=%d n=%d lda=%d ldb=%d", ErrShape, m, n, lda, ldb))
 	}
 	if m == 0 || n == 0 {
 		return
@@ -394,7 +394,7 @@ func Dsyrk(uplo Uplo, trans Transpose, n, k int, alpha float64, a []float64, lda
 		rowA = k
 	}
 	if n < 0 || k < 0 || lda < max(1, rowA) || ldc < max(1, n) {
-		panic(fmt.Sprintf("blas: Dsyrk bad dims n=%d k=%d lda=%d ldc=%d", n, k, lda, ldc))
+		panic(fmt.Errorf("%w: Dsyrk bad dims n=%d k=%d lda=%d ldc=%d", ErrShape, n, k, lda, ldc))
 	}
 	if n == 0 {
 		return

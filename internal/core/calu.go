@@ -45,7 +45,7 @@ func (r *LUResult) swapOrigin(k int) int {
 // Solve solves A*x = rhs for square factored A, overwriting rhs with x.
 func (r *LUResult) Solve(rhs *matrix.Dense) {
 	if r.A.Rows != r.A.Cols {
-		panic(fmt.Sprintf("core: Solve needs square matrix, got %dx%d", r.A.Rows, r.A.Cols))
+		panic(fmt.Errorf("%w: Solve needs square matrix, got %dx%d", ErrShape, r.A.Rows, r.A.Cols))
 	}
 	r.ApplyPerm(rhs)
 	blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, r.A, rhs)
@@ -72,7 +72,7 @@ func CALU(a *matrix.Dense, opt Options) (*LUResult, error) {
 // goroutines. opt.Workers is ignored — the pool's size rules. A nil pool
 // falls back to a private one-shot pool, which is exactly CALU.
 func CALUWithPool(a *matrix.Dense, opt Options, pool *sched.Pool) (*LUResult, error) {
-	return CALUWithPoolCtx(context.Background(), a, opt, pool)
+	return CALUWithPoolCtx(context.Background(), a, opt, pool) // calint:ignore ctx-propagation -- documented ctx-free entry point
 }
 
 // CALUWithPoolCtx is CALUWithPool bound to a context: once ctx is cancelled
@@ -431,7 +431,7 @@ func (r *LUResult) ApplyPermInverse(b *matrix.Dense) {
 // rhs with x: with P A = L U, A^T = U^T L^T P, so x = P^T (L^T)^-1 (U^T)^-1 rhs.
 func (r *LUResult) SolveTranspose(rhs *matrix.Dense) {
 	if r.A.Rows != r.A.Cols {
-		panic(fmt.Sprintf("core: SolveTranspose needs square matrix, got %dx%d", r.A.Rows, r.A.Cols))
+		panic(fmt.Errorf("%w: SolveTranspose needs square matrix, got %dx%d", ErrShape, r.A.Rows, r.A.Cols))
 	}
 	blas.Trsm(blas.Left, blas.Upper, blas.Trans, blas.NonUnit, 1, r.A, rhs)
 	blas.Trsm(blas.Left, blas.Lower, blas.Trans, blas.Unit, 1, r.A, rhs)
@@ -444,7 +444,7 @@ func (r *LUResult) SolveTranspose(rhs *matrix.Dense) {
 func (r *LUResult) RCond(anorm float64) float64 {
 	n := r.A.Rows
 	if n != r.A.Cols {
-		panic("core: RCond needs square matrix")
+		panic(fmt.Errorf("%w: RCond needs square matrix", ErrShape))
 	}
 	for i := 0; i < n; i++ {
 		if r.A.At(i, i) == 0 {
@@ -478,7 +478,7 @@ func (r *LUResult) RCond(anorm float64) float64 {
 // convergence indicator.
 func (r *LUResult) SolveRefined(orig *matrix.Dense, rhs *matrix.Dense, iters int) float64 {
 	if orig.Rows != r.A.Rows || orig.Cols != r.A.Cols {
-		panic("core: SolveRefined original matrix has wrong shape")
+		panic(fmt.Errorf("%w: SolveRefined original matrix has wrong shape", ErrShape))
 	}
 	b := rhs.Clone()
 	r.Solve(rhs) // rhs now holds x0
@@ -505,7 +505,7 @@ func (r *LUResult) SolveRefined(orig *matrix.Dense, rhs *matrix.Dense, iters int
 func (r *LUResult) Inverse() *matrix.Dense {
 	n := r.A.Rows
 	if n != r.A.Cols {
-		panic("core: Inverse needs square matrix")
+		panic(fmt.Errorf("%w: Inverse needs square matrix", ErrShape))
 	}
 	inv := matrix.Identity(n)
 	const nb = 32

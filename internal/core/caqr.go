@@ -43,7 +43,7 @@ func (r *QRResult) R() *matrix.Dense {
 // ApplyQT overwrites c (A.Rows x p) with Q^T * c.
 func (r *QRResult) ApplyQT(c *matrix.Dense) {
 	if c.Rows != r.A.Rows {
-		panic(fmt.Sprintf("core: ApplyQT rows %d want %d", c.Rows, r.A.Rows))
+		panic(fmt.Errorf("%w: ApplyQT rows %d want %d", ErrShape, c.Rows, r.A.Rows))
 	}
 	applyPanelsQT(r, c)
 }
@@ -60,7 +60,7 @@ func applyPanelsQT(r *QRResult, c *matrix.Dense) {
 // ApplyQ overwrites c (A.Rows x p) with Q * c.
 func (r *QRResult) ApplyQ(c *matrix.Dense) {
 	if c.Rows != r.A.Rows {
-		panic(fmt.Sprintf("core: ApplyQ rows %d want %d", c.Rows, r.A.Rows))
+		panic(fmt.Errorf("%w: ApplyQ rows %d want %d", ErrShape, c.Rows, r.A.Rows))
 	}
 	for k := len(r.Panels) - 1; k >= 0; k-- {
 		r0 := r.panelRow(k)
@@ -93,7 +93,7 @@ func (r *QRResult) ExplicitQ() *matrix.Dense {
 // (m >= n), returning the n x p solution. rhs is overwritten with Q^T rhs.
 func (r *QRResult) LeastSquares(rhs *matrix.Dense) *matrix.Dense {
 	if r.A.Rows < r.A.Cols {
-		panic(fmt.Sprintf("core: LeastSquares needs an overdetermined system, got %dx%d", r.A.Rows, r.A.Cols))
+		panic(fmt.Errorf("%w: LeastSquares needs an overdetermined system, got %dx%d", ErrShape, r.A.Rows, r.A.Cols))
 	}
 	n := r.A.Cols
 	r.ApplyQT(rhs)
@@ -121,7 +121,7 @@ func CAQR(a *matrix.Dense, opt Options) (*QRResult, error) {
 // to pool, sharing its workers with any concurrent submissions. A nil pool
 // falls back to a private one-shot pool.
 func CAQRWithPool(a *matrix.Dense, opt Options, pool *sched.Pool) (*QRResult, error) {
-	return CAQRWithPoolCtx(context.Background(), a, opt, pool)
+	return CAQRWithPoolCtx(context.Background(), a, opt, pool) // calint:ignore ctx-propagation -- documented ctx-free entry point
 }
 
 // CAQRWithPoolCtx is CAQRWithPool bound to a context, with the same

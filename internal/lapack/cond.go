@@ -1,6 +1,7 @@
 package lapack
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/matrix"
@@ -77,10 +78,10 @@ func norm1(x []float64) float64 {
 // x = P^T (L^T)^{-1} (U^T)^{-1} b. b is overwritten with the solution.
 func LUSolveTranspose(lu *matrix.Dense, ipiv []int, b *matrix.Dense) {
 	if lu.Rows != lu.Cols {
-		panic("lapack: LUSolveTranspose needs square factor")
+		panic(fmt.Errorf("%w: LUSolveTranspose needs square factor", ErrShape))
 	}
 	if b.Rows != lu.Rows {
-		panic("lapack: LUSolveTranspose rhs rows mismatch")
+		panic(fmt.Errorf("%w: LUSolveTranspose rhs rows mismatch", ErrShape))
 	}
 	// U^T is lower triangular: forward substitution with Trans.
 	trsmT(lu, b, true)

@@ -1,0 +1,29 @@
+package lapack
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// TestShapePanicIsTyped pins the error contract calint enforces: an
+// argument-validation panic must carry ErrShape so errors.Is keeps
+// working after the scheduler's recover path converts it into an error.
+func TestShapePanicIsTyped(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a shape panic")
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("panic value is %T, want error", r)
+		}
+		if !errors.Is(err, ErrShape) {
+			t.Fatalf("errors.Is(%v, ErrShape) = false", err)
+		}
+	}()
+	lu := matrix.New(3, 4) // not square: LUSolve must reject it
+	LUSolve(lu, []int{0, 1, 2}, matrix.New(3, 1))
+}

@@ -32,7 +32,7 @@ func GETF2(a *matrix.Dense, ipiv []int) error {
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
 	if len(ipiv) != k {
-		panic(fmt.Sprintf("lapack: GETF2 ipiv length %d want %d", len(ipiv), k))
+		panic(fmt.Errorf("%w: GETF2 ipiv length %d want %d", ErrShape, len(ipiv), k))
 	}
 	var err error
 	for j := 0; j < k; j++ {
@@ -67,7 +67,7 @@ func RGETF2(a *matrix.Dense, ipiv []int) error {
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
 	if len(ipiv) != k {
-		panic(fmt.Sprintf("lapack: RGETF2 ipiv length %d want %d", len(ipiv), k))
+		panic(fmt.Errorf("%w: RGETF2 ipiv length %d want %d", ErrShape, len(ipiv), k))
 	}
 	return rgetf2(a, ipiv)
 }
@@ -122,10 +122,10 @@ func GETRF(a *matrix.Dense, ipiv []int, nb int) error {
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
 	if len(ipiv) != k {
-		panic(fmt.Sprintf("lapack: GETRF ipiv length %d want %d", len(ipiv), k))
+		panic(fmt.Errorf("%w: GETRF ipiv length %d want %d", ErrShape, len(ipiv), k))
 	}
 	if nb < 1 {
-		panic(fmt.Sprintf("lapack: GETRF block size %d", nb))
+		panic(fmt.Errorf("%w: GETRF block size %d", ErrShape, nb))
 	}
 	var err error
 	for j := 0; j < k; j += nb {
@@ -168,7 +168,7 @@ func GETRF(a *matrix.Dense, ipiv []int, nb int) error {
 // are absolute row indices of a.
 func LASWP(a *matrix.Dense, ipiv []int, k1, k2 int) {
 	if k1 < 0 || k2 > len(ipiv) || k1 > k2 {
-		panic(fmt.Sprintf("lapack: LASWP range [%d, %d) of %d", k1, k2, len(ipiv)))
+		panic(fmt.Errorf("%w: LASWP range [%d, %d) of %d", ErrShape, k1, k2, len(ipiv)))
 	}
 	for k := k1; k < k2; k++ {
 		if p := ipiv[k]; p != k {
@@ -181,7 +181,7 @@ func LASWP(a *matrix.Dense, ipiv []int, k1, k2 int) {
 // LASWP with the same arguments.
 func LASWPBackward(a *matrix.Dense, ipiv []int, k1, k2 int) {
 	if k1 < 0 || k2 > len(ipiv) || k1 > k2 {
-		panic(fmt.Sprintf("lapack: LASWPBackward range [%d, %d) of %d", k1, k2, len(ipiv)))
+		panic(fmt.Errorf("%w: LASWPBackward range [%d, %d) of %d", ErrShape, k1, k2, len(ipiv)))
 	}
 	for k := k2 - 1; k >= k1; k-- {
 		if p := ipiv[k]; p != k {
@@ -208,10 +208,10 @@ func IpivToPerm(ipiv []int, m int) []int {
 // overwritten with the solution; it must have lu.Rows rows.
 func LUSolve(lu *matrix.Dense, ipiv []int, b *matrix.Dense) {
 	if lu.Rows != lu.Cols {
-		panic(fmt.Sprintf("lapack: LUSolve needs square factor, got %dx%d", lu.Rows, lu.Cols))
+		panic(fmt.Errorf("%w: LUSolve needs square factor, got %dx%d", ErrShape, lu.Rows, lu.Cols))
 	}
 	if b.Rows != lu.Rows {
-		panic(fmt.Sprintf("lapack: LUSolve rhs rows %d want %d", b.Rows, lu.Rows))
+		panic(fmt.Errorf("%w: LUSolve rhs rows %d want %d", ErrShape, b.Rows, lu.Rows))
 	}
 	LASWP(b, ipiv, 0, len(ipiv))
 	blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, lu, b)
@@ -266,7 +266,7 @@ func GrowthFactor(lu *matrix.Dense, orig *matrix.Dense) float64 {
 func GETRI(lu *matrix.Dense, ipiv []int) *matrix.Dense {
 	n := lu.Rows
 	if n != lu.Cols {
-		panic(fmt.Sprintf("lapack: GETRI needs square factor, got %dx%d", n, lu.Cols))
+		panic(fmt.Errorf("%w: GETRI needs square factor, got %dx%d", ErrShape, n, lu.Cols))
 	}
 	inv := matrix.Identity(n)
 	const nb = 32

@@ -71,10 +71,10 @@ func PGETRF(a *matrix.Dense, ipiv []int, nb, workers int) error {
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
 	if len(ipiv) != k {
-		panic("lapack: PGETRF ipiv length mismatch")
+		panic(fmt.Errorf("%w: PGETRF ipiv length mismatch", ErrShape))
 	}
 	if nb < 1 || workers < 1 {
-		panic("lapack: PGETRF bad nb or workers")
+		panic(fmt.Errorf("%w: PGETRF bad nb or workers", ErrShape))
 	}
 	var err error
 	for j := 0; j < k; j += nb {
@@ -124,10 +124,10 @@ func PGEQRF(a *matrix.Dense, tau []float64, nb, workers int) {
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
 	if len(tau) != k {
-		panic("lapack: PGEQRF tau length mismatch")
+		panic(fmt.Errorf("%w: PGEQRF tau length mismatch", ErrShape))
 	}
 	if nb < 1 || workers < 1 {
-		panic("lapack: PGEQRF bad nb or workers")
+		panic(fmt.Errorf("%w: PGEQRF bad nb or workers", ErrShape))
 	}
 	t := matrix.New(nb, nb)
 	for j := 0; j < k; j += nb {

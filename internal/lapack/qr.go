@@ -46,7 +46,7 @@ func GEQR2(a *matrix.Dense, tau []float64) {
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
 	if len(tau) != k {
-		panic(fmt.Sprintf("lapack: GEQR2 tau length %d want %d", len(tau), k))
+		panic(fmt.Errorf("%w: GEQR2 tau length %d want %d", ErrShape, len(tau), k))
 	}
 	work := make([]float64, n)
 	for j := 0; j < k; j++ {
@@ -85,10 +85,10 @@ func applyReflectorLeft(a *matrix.Dense, j int, tau float64, work []float64) {
 func Larft(v *matrix.Dense, tau []float64, t *matrix.Dense) {
 	m, k := v.Rows, v.Cols
 	if t.Rows != k || t.Cols != k {
-		panic(fmt.Sprintf("lapack: Larft T is %dx%d want %dx%d", t.Rows, t.Cols, k, k))
+		panic(fmt.Errorf("%w: Larft T is %dx%d want %dx%d", ErrShape, t.Rows, t.Cols, k, k))
 	}
 	if len(tau) != k {
-		panic(fmt.Sprintf("lapack: Larft tau length %d want %d", len(tau), k))
+		panic(fmt.Errorf("%w: Larft tau length %d want %d", ErrShape, len(tau), k))
 	}
 	t.Zero()
 	for i := 0; i < k; i++ {
@@ -120,7 +120,7 @@ func Larft(v *matrix.Dense, tau []float64, t *matrix.Dense) {
 func Larfb(trans blas.Transpose, v, t, c *matrix.Dense) {
 	m, k := v.Rows, v.Cols
 	if c.Rows != m {
-		panic(fmt.Sprintf("lapack: Larfb C rows %d want %d", c.Rows, m))
+		panic(fmt.Errorf("%w: Larfb C rows %d want %d", ErrShape, c.Rows, m))
 	}
 	n := c.Cols
 	if n == 0 || k == 0 {
@@ -167,10 +167,10 @@ func GEQRF(a *matrix.Dense, tau []float64, nb int) {
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
 	if len(tau) != k {
-		panic(fmt.Sprintf("lapack: GEQRF tau length %d want %d", len(tau), k))
+		panic(fmt.Errorf("%w: GEQRF tau length %d want %d", ErrShape, len(tau), k))
 	}
 	if nb < 1 {
-		panic(fmt.Sprintf("lapack: GEQRF block size %d", nb))
+		panic(fmt.Errorf("%w: GEQRF block size %d", ErrShape, nb))
 	}
 	t := matrix.New(nb, nb)
 	for j := 0; j < k; j += nb {
@@ -194,13 +194,13 @@ func GEQRF(a *matrix.Dense, tau []float64, nb int) {
 func GEQR3(a *matrix.Dense, tau []float64, t *matrix.Dense) {
 	m, n := a.Rows, a.Cols
 	if m < n {
-		panic(fmt.Sprintf("lapack: GEQR3 requires m >= n, got %dx%d", m, n))
+		panic(fmt.Errorf("%w: GEQR3 requires m >= n, got %dx%d", ErrShape, m, n))
 	}
 	if len(tau) != n {
-		panic(fmt.Sprintf("lapack: GEQR3 tau length %d want %d", len(tau), n))
+		panic(fmt.Errorf("%w: GEQR3 tau length %d want %d", ErrShape, len(tau), n))
 	}
 	if t.Rows != n || t.Cols != n {
-		panic(fmt.Sprintf("lapack: GEQR3 T is %dx%d want %dx%d", t.Rows, t.Cols, n, n))
+		panic(fmt.Errorf("%w: GEQR3 T is %dx%d want %dx%d", ErrShape, t.Rows, t.Cols, n, n))
 	}
 	if n == 0 {
 		return
@@ -253,7 +253,7 @@ func GEQR3(a *matrix.Dense, tau []float64, t *matrix.Dense) {
 func ORGQR(a *matrix.Dense, tau []float64, k int) *matrix.Dense {
 	m, n := a.Rows, a.Cols
 	if k > n || k < 0 {
-		panic(fmt.Sprintf("lapack: ORGQR k=%d out of range n=%d", k, n))
+		panic(fmt.Errorf("%w: ORGQR k=%d out of range n=%d", ErrShape, k, n))
 	}
 	q := matrix.New(m, k)
 	for i := 0; i < k; i++ {
@@ -300,10 +300,10 @@ func ORMQR(trans blas.Transpose, a *matrix.Dense, tau []float64, nb int, c *matr
 	m, n := a.Rows, a.Cols
 	k := min(min(m, n), len(tau))
 	if c.Rows != m {
-		panic(fmt.Sprintf("lapack: ORMQR C rows %d want %d", c.Rows, m))
+		panic(fmt.Errorf("%w: ORMQR C rows %d want %d", ErrShape, c.Rows, m))
 	}
 	if nb < 1 {
-		panic(fmt.Sprintf("lapack: ORMQR block size %d", nb))
+		panic(fmt.Errorf("%w: ORMQR block size %d", ErrShape, nb))
 	}
 	t := matrix.New(nb, nb)
 	// Q = H_1 H_2 ... H_k. Q^T C applies blocks forward; Q C backward.

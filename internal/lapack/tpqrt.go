@@ -22,13 +22,13 @@ import (
 func TPQRT(r, b, t *matrix.Dense) {
 	bw := r.Cols
 	if r.Rows != bw {
-		panic(fmt.Sprintf("lapack: TPQRT R is %dx%d, want square", r.Rows, r.Cols))
+		panic(fmt.Errorf("%w: TPQRT R is %dx%d, want square", ErrShape, r.Rows, r.Cols))
 	}
 	if b.Cols != bw {
-		panic(fmt.Sprintf("lapack: TPQRT B has %d cols, want %d", b.Cols, bw))
+		panic(fmt.Errorf("%w: TPQRT B has %d cols, want %d", ErrShape, b.Cols, bw))
 	}
 	if t.Rows != bw || t.Cols != bw {
-		panic(fmt.Sprintf("lapack: TPQRT T is %dx%d, want %dx%d", t.Rows, t.Cols, bw, bw))
+		panic(fmt.Errorf("%w: TPQRT T is %dx%d, want %dx%d", ErrShape, t.Rows, t.Cols, bw, bw))
 	}
 	m := b.Rows
 	t.Zero()
@@ -87,13 +87,13 @@ func TPQRT(r, b, t *matrix.Dense) {
 func TPMQRT(trans blas.Transpose, v, t, c1, c2 *matrix.Dense) {
 	bw := v.Cols
 	if c1.Rows != bw {
-		panic(fmt.Sprintf("lapack: TPMQRT C1 has %d rows, want %d", c1.Rows, bw))
+		panic(fmt.Errorf("%w: TPMQRT C1 has %d rows, want %d", ErrShape, c1.Rows, bw))
 	}
 	if c2.Rows != v.Rows {
-		panic(fmt.Sprintf("lapack: TPMQRT C2 has %d rows, want %d", c2.Rows, v.Rows))
+		panic(fmt.Errorf("%w: TPMQRT C2 has %d rows, want %d", ErrShape, c2.Rows, v.Rows))
 	}
 	if c1.Cols != c2.Cols {
-		panic(fmt.Sprintf("lapack: TPMQRT C1/C2 col mismatch %d vs %d", c1.Cols, c2.Cols))
+		panic(fmt.Errorf("%w: TPMQRT C1/C2 col mismatch %d vs %d", ErrShape, c1.Cols, c2.Cols))
 	}
 	n := c1.Cols
 	if n == 0 || bw == 0 {
@@ -133,10 +133,10 @@ func TPMQRT(trans blas.Transpose, v, t, c1, c2 *matrix.Dense) {
 func TTQRT(r1, r2, t *matrix.Dense) {
 	bw := r1.Cols
 	if r1.Rows != bw || r2.Rows != bw || r2.Cols != bw {
-		panic(fmt.Sprintf("lapack: TTQRT wants two %dx%d triangles", bw, bw))
+		panic(fmt.Errorf("%w: TTQRT wants two %dx%d triangles", ErrShape, bw, bw))
 	}
 	if t.Rows != bw || t.Cols != bw {
-		panic(fmt.Sprintf("lapack: TTQRT T is %dx%d want %dx%d", t.Rows, t.Cols, bw, bw))
+		panic(fmt.Errorf("%w: TTQRT T is %dx%d want %dx%d", ErrShape, t.Rows, t.Cols, bw, bw))
 	}
 	t.Zero()
 	tau := make([]float64, bw)
@@ -192,10 +192,10 @@ func TTQRT(r1, r2, t *matrix.Dense) {
 func TTMQRT(trans blas.Transpose, v2, t, c1, c2 *matrix.Dense) {
 	bw := v2.Cols
 	if c1.Rows != bw || c2.Rows != bw {
-		panic(fmt.Sprintf("lapack: TTMQRT C rows %d/%d want %d", c1.Rows, c2.Rows, bw))
+		panic(fmt.Errorf("%w: TTMQRT C rows %d/%d want %d", ErrShape, c1.Rows, c2.Rows, bw))
 	}
 	if c1.Cols != c2.Cols {
-		panic(fmt.Sprintf("lapack: TTMQRT C1/C2 col mismatch %d vs %d", c1.Cols, c2.Cols))
+		panic(fmt.Errorf("%w: TTMQRT C1/C2 col mismatch %d vs %d", ErrShape, c1.Cols, c2.Cols))
 	}
 	if c1.Cols == 0 || bw == 0 {
 		return

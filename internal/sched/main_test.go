@@ -1,0 +1,16 @@
+package sched
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain fails the package if any test leaks a goroutine — a pool left
+// open, a ctx watcher never released. The executor's whole point is
+// bounded lifecycle (Close joins the workers); a leak here is a bug, not
+// noise.
+func TestMain(m *testing.M) {
+	os.Exit(testutil.LeakCheckMain(m))
+}

@@ -80,9 +80,56 @@ func NewPool(workers int) *Pool {
 	p.cond = sync.NewCond(&p.mu)
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go p.worker(w)
+		p.spawn(func() { p.worker(w) })
 	}
 	return p
+}
+
+// spawn starts fn on its own goroutine behind a recover barrier. runTask
+// already confines task panics to their submission; this barrier is the
+// last resort for a panic in the scheduler machinery itself (worker loop,
+// drain signalling, ctx watchers). Instead of killing the process — and
+// every concurrent submission with it — such a panic fails all in-flight
+// submissions with a typed error and releases their waiters, so callers
+// observe an error rather than a crash or a deadlocked Wait.
+func (p *Pool) spawn(fn func()) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				p.failAll(fmt.Errorf("sched: internal panic: %v", r))
+			}
+		}()
+		fn()
+	}()
+}
+
+// failAll marks every in-flight submission failed and releases its
+// waiters. It is the pool's poison state: after a scheduler panic the
+// task accounting cannot be trusted, so the submissions are terminated
+// rather than drained.
+func (p *Pool) failAll(err error) {
+	p.mu.Lock()
+	subs := p.subs
+	p.subs = nil
+	for _, s := range subs {
+		if s.failed == nil {
+			s.failed = err
+		}
+		closeDoneLocked(s)
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// closeDoneLocked closes s.done exactly once; failAll may already have
+// released the submission's waiters. Caller holds pool.mu, which
+// serializes every close of s.done.
+func closeDoneLocked(s *Submission) {
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
 }
 
 // Workers returns the pool's worker count.
@@ -121,7 +168,7 @@ func (p *Pool) CloseWithTimeout(d time.Duration) error {
 	p.cond.Broadcast()
 
 	drained := make(chan struct{})
-	go func() { p.wg.Wait(); close(drained) }()
+	p.spawn(func() { p.wg.Wait(); close(drained) })
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
@@ -162,7 +209,7 @@ type Submission struct {
 // Submit validates g and enqueues it for execution. It returns immediately;
 // use Wait for completion. An empty graph completes at once.
 func (p *Pool) Submit(g *Graph, opt SubmitOptions) (*Submission, error) {
-	return p.SubmitCtx(context.Background(), g, opt)
+	return p.SubmitCtx(context.Background(), g, opt) // calint:ignore ctx-propagation -- documented ctx-free entry point
 }
 
 // SubmitCtx is Submit bound to a context. Cancellation is observed between
@@ -177,7 +224,7 @@ func (p *Pool) Submit(g *Graph, opt SubmitOptions) (*Submission, error) {
 // and the wrapped context error is returned here rather than from Wait.
 func (p *Pool) SubmitCtx(ctx context.Context, g *Graph, opt SubmitOptions) (*Submission, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() // calint:ignore ctx-propagation -- nil ctx normalized at the API boundary
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -231,13 +278,13 @@ func (p *Pool) SubmitCtx(ctx context.Context, g *Graph, opt SubmitOptions) (*Sub
 		// Watcher: marks the submission failed the moment the context fires,
 		// so workers skip (drain) everything not yet started. It exits as
 		// soon as the submission completes.
-		go func() {
+		p.spawn(func() {
 			select {
 			case <-ctx.Done():
 				s.cancel(fmt.Errorf("%w: %w", ErrCancelled, ctx.Err()))
 			case <-s.done:
 			}
-		}()
+		})
 	}
 	return s, nil
 }
@@ -395,7 +442,7 @@ func (p *Pool) worker(id int) {
 		s.pending--
 		if s.pending == 0 {
 			p.removeLocked(s)
-			close(s.done)
+			closeDoneLocked(s)
 			woke = true
 		}
 		if woke {

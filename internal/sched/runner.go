@@ -83,11 +83,19 @@ func runOneShot(g *Graph, workers int, opt SubmitOptions) []Event {
 	return events
 }
 
-// runTask executes one task, converting a panic into a returned error.
+// runTask executes one task, converting a panic into a returned error. A
+// panic that already carries an error — the library packages' typed
+// preconditions, e.g. panic(fmt.Errorf("%w: ...", blas.ErrShape, ...)) —
+// is wrapped with %w so errors.Is/As keep matching the sentinel through
+// Submission.Wait.
 func runTask(t *Task) (captured error) {
 	defer func() {
 		if p := recover(); p != nil {
-			captured = fmt.Errorf("sched: task %d (%s) panicked: %v", t.ID, t.Label, p)
+			if err, ok := p.(error); ok {
+				captured = fmt.Errorf("sched: task %d (%s) panicked: %w", t.ID, t.Label, err)
+			} else {
+				captured = fmt.Errorf("sched: task %d (%s) panicked: %v", t.ID, t.Label, p)
+			}
 		}
 	}()
 	t.Run()

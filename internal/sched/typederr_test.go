@@ -1,0 +1,49 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestTypedTaskPanicSurvivesWait pins the contract the error-contract
+// check exists for: a task that panics with a typed error (the library
+// packages' ErrShape-style preconditions) must surface through
+// Submission.Wait with errors.Is still matching the sentinel.
+func TestTypedTaskPanicSurvivesWait(t *testing.T) {
+	sentinel := errors.New("kernel: invalid argument")
+	p := NewPool(2)
+	defer p.Close()
+
+	g := NewGraph()
+	g.Add(&Task{Label: "typed-boom", Run: func() {
+		panic(fmt.Errorf("%w: rows 3 want 4", sentinel))
+	}})
+	sub, err := p.Submit(g, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sub.Wait()
+	if err == nil {
+		t.Fatal("Wait returned nil for a panicking task")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is through Wait lost the sentinel: %v", err)
+	}
+}
+
+// TestUntypedTaskPanicStillReports keeps the pre-existing behavior for
+// non-error panic values.
+func TestUntypedTaskPanicStillReports(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	g := NewGraph()
+	g.Add(&Task{Label: "string-boom", Run: func() { panic("raw string") }})
+	sub, err := p.Submit(g, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Wait(); err == nil {
+		t.Fatal("Wait returned nil for a panicking task")
+	}
+}

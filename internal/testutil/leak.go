@@ -1,0 +1,53 @@
+// Package testutil holds small helpers shared by the packages' test
+// suites. It must stay stdlib-only.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// LeakCheckMain wraps testing.M.Run with a goroutine-leak guard for
+// packages that spawn worker goroutines (internal/sched, factor): it
+// snapshots the goroutine count before the tests, runs them, then gives
+// finished pools a bounded settle window to join their workers. If the
+// count never returns to the baseline, the full stack dump is written to
+// stderr and a non-zero exit code is returned, failing the package.
+//
+// Use it from a TestMain:
+//
+//	func TestMain(m *testing.M) { os.Exit(testutil.LeakCheckMain(m)) }
+//
+// The settle loop (rather than a single check) absorbs the benign lag
+// between a pool's Close returning and the runtime unwinding its workers;
+// a real leak — a pool never closed, a watcher goroutine waiting on a
+// context that never fires — survives the full window and is reported.
+func LeakCheckMain(m *testing.M) int {
+	before := runtime.NumGoroutine()
+	code := m.Run()
+	if code != 0 {
+		return code
+	}
+	const (
+		settle = 5 * time.Second
+		step   = 20 * time.Millisecond
+	)
+	deadline := time.Now().Add(settle)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return code
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(step)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	fmt.Fprintf(os.Stderr, "testutil: goroutine leak: %d goroutines before tests, %d after settle window\n%s\n",
+		before, runtime.NumGoroutine(), buf[:n])
+	return 1
+}
