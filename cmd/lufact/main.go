@@ -8,6 +8,20 @@
 //	lufact -m 1000 -n 1000 -alg tiled -tile 128
 //	lufact -m 2000 -n 200 -alg getrf        # blocked GEPP baseline
 //	lufact -m 2000 -n 200 -alg getf2        # BLAS-2 baseline
+//
+// Robustness knobs (calu only):
+//
+//	-growth-threshold 100   arm the pivot-growth guardrail: panels whose
+//	                        element growth exceeds the threshold are
+//	                        re-factored with GEPP and counted in the
+//	                        degradation report
+//	-chaos-seed 15          inject deterministic faults (task panics and
+//	                        spurious errors) through the self-healing
+//	                        engine; the run must still produce a correct
+//	                        factorization, healed by retries
+//
+// With either knob set, the calu path runs on a factor.Engine and prints a
+// one-line degradation report (fallback panels, retries, shed, stalls).
 package main
 
 import (
@@ -17,9 +31,10 @@ import (
 	"os"
 	"time"
 
+	"repro/factor"
 	"repro/internal/baseline"
 	"repro/internal/blas"
-	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/lapack"
 	"repro/internal/matrix"
 	"repro/internal/stability"
@@ -38,6 +53,8 @@ func main() {
 		tile    = flag.Int("tile", 128, "tile size (tiled)")
 		flat    = flag.Bool("flat", false, "flat reduction tree (calu, tslu)")
 		seed    = flag.Int64("seed", 1, "matrix seed")
+		growth  = flag.Float64("growth-threshold", 0, "pivot-growth guardrail threshold; panels above it re-factor with GEPP (calu; 0 = off)")
+		chaos   = flag.Int64("chaos-seed", 0, "inject deterministic faults with this seed through the self-healing engine (calu; 0 = off)")
 	)
 	flag.Parse()
 
@@ -52,13 +69,39 @@ func main() {
 	start := time.Now()
 	switch *alg {
 	case "calu":
-		opt := core.Options{BlockSize: *b, PanelThreads: *tr, Tree: tree, Workers: *workers, Lookahead: true}
-		res, err := core.CALU(a, opt)
+		ftree := factor.Binary
+		if *flat {
+			ftree = factor.Flat
+		}
+		cfg := factor.EngineConfig{Workers: *workers, GrowthThreshold: *growth}
+		var inj *fault.Injector
+		if *chaos != 0 {
+			inj = fault.New(*chaos,
+				fault.Rule{Kind: fault.Panic, Rate: 0.01, Count: 2},
+				fault.Rule{Kind: fault.Error, Rate: 0.01, Count: 2},
+			)
+			cfg.Interceptor = inj.Intercept
+			// Selection is deterministic by task label, so the same tasks
+			// trip on every attempt until the rules' budgets (2 panics + 2
+			// errors) are spent; the retry allowance must cover all four.
+			cfg.MaxRetries = 5
+		}
+		eng := factor.NewEngineWithConfig(cfg)
+		defer eng.Close()
+		opt := factor.Options{BlockSize: *b, PanelThreads: *tr, Tree: ftree}
+		lu, err := eng.LU(a, opt)
 		fail(err)
 		elapsedReport(start, *m, *n)
 		pa := orig.Clone()
-		res.ApplyPerm(pa)
+		lu.Permute(pa)
 		report = verify(a, pa, orig)
+		st := eng.Stats()
+		fmt.Printf("degradation:  fallback-panels=%d retries=%d shed=%d stalled=%d\n",
+			len(lu.FallbackPanels()), st.Retries, st.Shed, st.Stalled)
+		if inj != nil {
+			fmt.Printf("chaos:        injected panics=%d errors=%d\n",
+				inj.Injected(fault.Panic), inj.Injected(fault.Error))
+		}
 	case "tslu":
 		sw, err := tslu.Factor(a, *tr, tree)
 		fail(err)

@@ -1,0 +1,266 @@
+package factor
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// chaosVerify factors a fresh copy of a known system on eng and checks the
+// solve, proving the engine is healthy after whatever the test injected.
+func chaosVerify(t *testing.T, eng *Engine) {
+	t.Helper()
+	const n = 24
+	orig := Random(n, n, 99)
+	xWant := Random(n, 1, 100)
+	rhs := NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += orig.At(i, j) * xWant.At(j, 0)
+		}
+		rhs.Set(i, 0, s)
+	}
+	lu, err := eng.LU(orig.Clone(), Options{BlockSize: 6})
+	if err != nil {
+		t.Fatalf("engine unusable after chaos: %v", err)
+	}
+	lu.Solve(rhs)
+	for i := 0; i < n; i++ {
+		if d := rhs.At(i, 0) - xWant.At(i, 0); d > 1e-8 || d < -1e-8 {
+			t.Fatalf("solve after chaos off by %g at row %d", d, i)
+		}
+	}
+}
+
+// TestChaosPanicRetrySucceeds is the acceptance scenario: two injected
+// task panics, an engine with retries — the request must succeed via
+// retry, the pool must survive, and the engine must serve the next
+// request cleanly.
+func TestChaosPanicRetrySucceeds(t *testing.T) {
+	inj := fault.New(17, fault.Rule{Kind: fault.Panic, Rate: 1, Count: 2})
+	eng := NewEngineWithConfig(EngineConfig{
+		Workers: 4, MaxRetries: 3, RetryBackoff: time.Millisecond,
+		Interceptor: inj.Intercept,
+	})
+	defer eng.Close()
+	a := Random(40, 40, 1)
+	if _, err := eng.LUCtx(context.Background(), a, Options{BlockSize: 8}); err != nil {
+		t.Fatalf("LU with retries: %v", err)
+	}
+	if got := inj.Injected(fault.Panic); got != 2 {
+		t.Fatalf("injected %d panics, want 2", got)
+	}
+	if st := eng.Stats(); st.Retries != 2 {
+		t.Fatalf("Stats.Retries = %d, want 2", st.Retries)
+	}
+	chaosVerify(t, eng)
+}
+
+// TestChaosPanicNoRetriesTyped checks the other half of the contract:
+// without retries the injected panic surfaces as a typed error —
+// errors.Is finds the injected sentinel through the panic-to-error
+// recovery — and the engine stays usable.
+func TestChaosPanicNoRetriesTyped(t *testing.T) {
+	inj := fault.New(17, fault.Rule{Kind: fault.Panic, Rate: 1, Count: 1})
+	eng := NewEngineWithConfig(EngineConfig{Workers: 2, Interceptor: inj.Intercept})
+	defer eng.Close()
+	_, err := eng.LU(Random(30, 30, 2), Options{BlockSize: 6})
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want wrapped fault.ErrInjected", err)
+	}
+	chaosVerify(t, eng)
+}
+
+// TestChaosSpuriousErrorRetried injects a one-shot spurious task error and
+// checks it is classified transient and healed by a single retry.
+func TestChaosSpuriousErrorRetried(t *testing.T) {
+	inj := fault.New(5, fault.Rule{Kind: fault.Error, Match: "U k=", Rate: 1, Count: 1})
+	eng := NewEngineWithConfig(EngineConfig{
+		Workers: 2, MaxRetries: 1, RetryBackoff: time.Millisecond,
+		Interceptor: inj.Intercept,
+	})
+	defer eng.Close()
+	if _, err := eng.LU(Random(40, 40, 3), Options{BlockSize: 8}); err != nil {
+		t.Fatalf("LU: %v", err)
+	}
+	if st := eng.Stats(); st.Retries != 1 {
+		t.Fatalf("Stats.Retries = %d, want 1", st.Retries)
+	}
+	chaosVerify(t, eng)
+}
+
+// TestChaosStallWatchdog wedges the engine's only worker with an injected
+// delay much longer than the stall timeout and checks the watchdog
+// converts the silent stall into a typed ErrStalled failure, counts it,
+// and leaves the engine serving.
+func TestChaosStallWatchdog(t *testing.T) {
+	inj := fault.New(9, fault.Rule{Kind: fault.Delay, Rate: 1, Count: 1, Delay: 200 * time.Millisecond})
+	eng := NewEngineWithConfig(EngineConfig{
+		Workers: 1, StallTimeout: 25 * time.Millisecond,
+		Interceptor: inj.Intercept,
+	})
+	defer eng.Close()
+	_, err := eng.LUCtx(context.Background(), Random(30, 30, 4), Options{BlockSize: 6})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want wrapped ErrStalled", err)
+	}
+	if st := eng.Stats(); st.Stalled != 1 {
+		t.Fatalf("Stats.Stalled = %d, want 1", st.Stalled)
+	}
+	chaosVerify(t, eng)
+}
+
+// TestChaosStallRetried is the self-healing composition: the stall is
+// transient (the delay rule is one-shot), so a retrying engine recovers
+// from it without caller involvement.
+func TestChaosStallRetried(t *testing.T) {
+	inj := fault.New(9, fault.Rule{Kind: fault.Delay, Rate: 1, Count: 1, Delay: 200 * time.Millisecond})
+	eng := NewEngineWithConfig(EngineConfig{
+		Workers: 1, StallTimeout: 25 * time.Millisecond,
+		MaxRetries: 2, RetryBackoff: time.Millisecond,
+		Interceptor: inj.Intercept,
+	})
+	defer eng.Close()
+	if _, err := eng.LUCtx(context.Background(), Random(30, 30, 4), Options{BlockSize: 6}); err != nil {
+		t.Fatalf("LU with stall retry: %v", err)
+	}
+	st := eng.Stats()
+	if st.Stalled < 1 || st.Retries < 1 {
+		t.Fatalf("Stats = %+v, want at least one stall and one retry", st)
+	}
+	chaosVerify(t, eng)
+}
+
+// TestChaosCancelOnceNotRetried models an external cancellation landing
+// mid-factorization: the caller's context is cancelled by the injector,
+// and the engine must NOT retry — the caller asked to stop.
+func TestChaosCancelOnceNotRetried(t *testing.T) {
+	// The per-task delay keeps yield points in the schedule so the pool's
+	// cancellation watcher gets the (possibly single) CPU even when the
+	// numeric tasks alone would drain the graph without ever blocking.
+	inj := fault.New(3,
+		fault.Rule{Kind: fault.CancelOnce, Match: "S ", Rate: 1},
+		fault.Rule{Kind: fault.Delay, Match: "S ", Rate: 1, Delay: 500 * time.Microsecond},
+	)
+	eng := NewEngineWithConfig(EngineConfig{
+		Workers: 2, MaxRetries: 3, RetryBackoff: time.Millisecond,
+		Interceptor: inj.Intercept,
+	})
+	defer eng.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inj.OnCancel(cancel)
+	_, err := eng.LUCtx(ctx, Random(96, 96, 5), Options{BlockSize: 8})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want wrapped ErrCancelled", err)
+	}
+	if st := eng.Stats(); st.Retries != 0 {
+		t.Fatalf("Stats.Retries = %d, caller cancellation must not be retried", st.Retries)
+	}
+	chaosVerify(t, eng)
+}
+
+// TestChaosOverloadSheds checks admission control: with one slot occupied
+// by a request blocked inside the pool, the next request is shed
+// immediately with ErrOverloaded, and the slot frees once the first
+// completes.
+func TestChaosOverloadSheds(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	eng := NewEngineWithConfig(EngineConfig{
+		Workers: 2, MaxInFlight: 1,
+		Interceptor: func(info TaskInfo) error {
+			// Block the first request's first task until the gate opens.
+			<-gate
+			return nil
+		},
+	})
+	defer eng.Close()
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- errors.New("first request panicked")
+			}
+		}()
+		_, err := eng.LU(Random(20, 20, 6), Options{BlockSize: 5})
+		done <- err
+	}()
+	// Wait for the first request to occupy the slot.
+	for i := 0; eng.Stats().InFlight == 0; i++ {
+		if i > 2000 {
+			t.Fatal("first request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err := eng.LU(Random(20, 20, 7), Options{BlockSize: 5})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second request err = %v, want ErrOverloaded", err)
+	}
+	if st := eng.Stats(); st.Shed != 1 {
+		t.Fatalf("Stats.Shed = %d, want 1", st.Shed)
+	}
+	once.Do(func() { close(gate) })
+	if err := <-done; err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+	chaosVerify(t, eng)
+}
+
+// TestChaosConcurrentMixed drives concurrent LU and QR requests through an
+// engine with low-rate panic and error injection under the race detector:
+// every request must either succeed (via retry) or fail with a typed,
+// recognisable error; the engine must survive all of it.
+func TestChaosConcurrentMixed(t *testing.T) {
+	inj := fault.New(23,
+		fault.Rule{Kind: fault.Panic, Match: "S ", Rate: 0.05},
+		fault.Rule{Kind: fault.Error, Match: "U ", Rate: 0.05},
+	)
+	eng := NewEngineWithConfig(EngineConfig{
+		Workers: 4, MaxRetries: 4, RetryBackoff: time.Millisecond,
+		Interceptor: inj.Intercept,
+	})
+	defer eng.Close()
+	const requests = 12
+	errs := make(chan error, requests)
+	var wg sync.WaitGroup
+	for r := 0; r < requests; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					errs <- errors.New("request goroutine panicked")
+				}
+				wg.Done()
+			}()
+			opt := Options{BlockSize: 8}
+			var err error
+			if r%2 == 0 {
+				_, err = eng.LUCtx(context.Background(), Random(48, 48, int64(r)), opt)
+			} else {
+				_, err = eng.QRCtx(context.Background(), Random(48, 32, int64(r)), opt)
+			}
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Errorf("request failed untyped: %v", err)
+		}
+	}
+	chaosVerify(t, eng)
+}

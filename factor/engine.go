@@ -3,7 +3,11 @@ package factor
 import (
 	"context"
 	"errors"
+	"fmt"
+	"math/rand"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -12,6 +16,85 @@ import (
 
 // ErrEngineClosed is returned by Engine.LU and Engine.QR after Close.
 var ErrEngineClosed = errors.New("factor: engine is closed")
+
+// ErrOverloaded is returned when admission control sheds a request: the
+// engine already has EngineConfig.MaxInFlight factorizations in flight.
+// The request was rejected before touching the input matrix, so the caller
+// may retry it unchanged after backing off.
+var ErrOverloaded = errors.New("factor: engine overloaded")
+
+// ErrStalled is returned when the engine's watchdog detects a stalled
+// request: no task on the pool completed for EngineConfig.StallTimeout
+// while requests were in flight. Stalls are treated as transient (a wedged
+// worker, a pathological schedule) and retried when MaxRetries allows.
+var ErrStalled = errors.New("factor: factorization stalled")
+
+// ErrNonFinite is re-exported from core: the input matrix contains a NaN
+// or Inf entry. Permanent — never retried.
+var ErrNonFinite = core.ErrNonFinite
+
+// ErrCancelled is re-exported from sched: a factorization was cancelled
+// mid-run. Errors from the Ctx entry points wrap it alongside the
+// context's own error.
+var ErrCancelled = sched.ErrCancelled
+
+// TaskInfo describes one task about to execute on the engine's pool, as
+// passed to a TaskInterceptor. Alias of the scheduler's type.
+type TaskInfo = sched.TaskInfo
+
+// TaskInterceptor runs before every task on the engine's pool; a non-nil
+// return fails the task (and its factorization) without running it. It is
+// the hook the internal/fault chaos injector plugs into. Production
+// engines leave it nil and pay a single nil-check per task.
+type TaskInterceptor = sched.Interceptor
+
+// EngineConfig configures a self-healing engine. The zero value of every
+// field is a sensible default: unbounded admission, no retries, no
+// watchdog, no growth guardrail, no interceptor.
+type EngineConfig struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// MaxInFlight bounds the number of concurrently served requests;
+	// requests beyond it fail fast with ErrOverloaded instead of queueing
+	// without bound. 0 means unlimited.
+	MaxInFlight int
+	// MaxRetries is how many times a transiently failed request (injected
+	// fault, task panic, watchdog stall) is retried after restoring the
+	// input matrix from a snapshot. 0 disables retries — and the snapshot,
+	// so the common configuration pays nothing.
+	MaxRetries int
+	// RetryBackoff is the base delay before the first retry; each further
+	// retry doubles it, with up to 50% random jitter added. 0 means 2ms.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential backoff. 0 means 250ms.
+	RetryBackoffMax time.Duration
+	// StallTimeout arms the watchdog: if no task on the pool completes for
+	// this long while requests are in flight, every in-flight request is
+	// cancelled with ErrStalled (and retried, if MaxRetries allows).
+	// Detection is pool-wide — progress by any request counts as progress.
+	// 0 disables the watchdog.
+	StallTimeout time.Duration
+	// GrowthThreshold is the default pivot-growth guardrail threshold for
+	// LU requests that leave Options.GrowthThreshold zero; see
+	// Options.GrowthThreshold. 0 leaves the guardrail off by default.
+	GrowthThreshold float64
+	// Interceptor, when non-nil, runs before every task on the pool. Used
+	// by chaos tests to inject faults; see internal/fault.
+	Interceptor TaskInterceptor
+}
+
+// Stats is a snapshot of an engine's self-healing counters.
+type Stats struct {
+	// Retries counts factorization attempts beyond each request's first.
+	Retries int64
+	// Shed counts requests rejected with ErrOverloaded.
+	Shed int64
+	// Stalled counts requests the watchdog cancelled with ErrStalled
+	// (including ones that subsequently succeeded on retry).
+	Stalled int64
+	// InFlight is the number of requests currently admitted.
+	InFlight int64
+}
 
 // Engine is a persistent factorization service: one fixed pool of worker
 // goroutines, started by NewEngine and reused by every LU and QR call until
@@ -23,28 +106,99 @@ var ErrEngineClosed = errors.New("factor: engine is closed")
 // Compared with the package-level LU/QR — which build and tear down a
 // private pool per call — an Engine avoids the per-request goroutine spawn
 // and teardown, which matters when factoring many small matrices.
+//
+// An engine built with NewEngineWithConfig is additionally self-healing:
+// admission control sheds excess load (ErrOverloaded), transient failures
+// are retried with exponential backoff from a snapshot of the input, and a
+// watchdog converts silent stalls into typed ErrStalled failures.
 type Engine struct {
 	pool    *sched.Pool
 	workers int
+	cfg     EngineConfig
+	sem     chan struct{} // admission slots; nil when unlimited
+
+	retries  atomic.Int64
+	shed     atomic.Int64
+	stalls   atomic.Int64
+	inFlight atomic.Int64
+
+	watchMu  sync.Mutex
+	watched  map[int64]context.CancelCauseFunc
+	watchSeq int64
+
+	stopWatch chan struct{} // nil when the watchdog is off
+	watchDone chan struct{}
+	stopOnce  sync.Once
 }
 
 // NewEngine starts an engine with the given number of worker goroutines
-// (<= 0 means GOMAXPROCS). The caller owns the engine and must Close it to
-// release the workers.
+// (<= 0 means GOMAXPROCS) and no self-healing behaviors — the historical
+// configuration. The caller owns the engine and must Close it to release
+// the workers.
 func NewEngine(workers int) *Engine {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return NewEngineWithConfig(EngineConfig{Workers: workers})
+}
+
+// NewEngineWithConfig starts an engine with the full robustness
+// configuration. The caller owns the engine and must Close it.
+func NewEngineWithConfig(cfg EngineConfig) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{pool: sched.NewPool(workers), workers: workers}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 2 * time.Millisecond
+	}
+	if cfg.RetryBackoffMax <= 0 {
+		cfg.RetryBackoffMax = 250 * time.Millisecond
+	}
+	e := &Engine{
+		pool:    sched.NewPool(cfg.Workers),
+		workers: cfg.Workers,
+		cfg:     cfg,
+		watched: make(map[int64]context.CancelCauseFunc),
+	}
+	if cfg.MaxInFlight > 0 {
+		e.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	if cfg.Interceptor != nil {
+		e.pool.SetInterceptor(cfg.Interceptor)
+	}
+	if cfg.StallTimeout > 0 {
+		e.stopWatch = make(chan struct{})
+		e.watchDone = make(chan struct{})
+		go func() {
+			defer func() {
+				// The watchdog must never take the process down; a panic
+				// here only disables stall detection.
+				_ = recover()
+				close(e.watchDone)
+			}()
+			e.watchLoop()
+		}()
+	}
+	return e
 }
 
 // Workers returns the size of the engine's worker pool.
 func (e *Engine) Workers() int { return e.workers }
 
+// Stats returns a snapshot of the self-healing counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Retries:  e.retries.Load(),
+		Shed:     e.shed.Load(),
+		Stalled:  e.stalls.Load(),
+		InFlight: e.inFlight.Load(),
+	}
+}
+
 // Close shuts the engine down: in-flight factorizations complete, the
-// workers exit, and subsequent LU/QR calls fail with ErrEngineClosed.
-// Close is idempotent.
-func (e *Engine) Close() { e.pool.Close() }
+// watchdog and the workers exit, and subsequent LU/QR calls fail with
+// ErrEngineClosed. Close is idempotent.
+func (e *Engine) Close() {
+	e.stopWatchdog()
+	e.pool.Close()
+}
 
 // CloseWithTimeout shuts the engine down like Close but bounds the wait: if
 // in-flight factorizations have not drained within d, their still-queued
@@ -54,17 +208,213 @@ func (e *Engine) Close() { e.pool.Close() }
 // drain and an error wrapping context.DeadlineExceeded when it had to
 // cancel. Idempotent, like Close.
 func (e *Engine) CloseWithTimeout(d time.Duration) error {
+	e.stopWatchdog()
 	return e.pool.CloseWithTimeout(d)
 }
 
+// stopWatchdog stops the watchdog goroutine and waits for it to exit.
+func (e *Engine) stopWatchdog() {
+	if e.stopWatch == nil {
+		return
+	}
+	e.stopOnce.Do(func() { close(e.stopWatch) })
+	<-e.watchDone
+}
+
+// watchLoop is the stall watchdog: it polls the pool's completed-task
+// counter and, when it freezes for StallTimeout with requests registered,
+// cancels every registered request with ErrStalled as the cause.
+func (e *Engine) watchLoop() {
+	interval := e.cfg.StallTimeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	last := e.pool.CompletedTasks()
+	lastChange := time.Now()
+	for {
+		select {
+		case <-e.stopWatch:
+			return
+		case <-ticker.C:
+			cur := e.pool.CompletedTasks()
+			if cur != last {
+				last = cur
+				lastChange = time.Now()
+				continue
+			}
+			e.watchMu.Lock()
+			idle := len(e.watched) == 0
+			e.watchMu.Unlock()
+			if idle {
+				// Nothing registered: a frozen counter means an idle pool,
+				// not a stall.
+				lastChange = time.Now()
+				continue
+			}
+			if time.Since(lastChange) >= e.cfg.StallTimeout {
+				e.cancelWatched()
+				lastChange = time.Now()
+			}
+		}
+	}
+}
+
+// cancelWatched cancels every registered request with ErrStalled.
+func (e *Engine) cancelWatched() {
+	e.watchMu.Lock()
+	defer e.watchMu.Unlock()
+	for _, cancel := range e.watched {
+		cancel(ErrStalled)
+	}
+}
+
+// watch derives the context one factorization attempt runs under. With the
+// watchdog armed it is cancellable with a cause; the returned release must
+// be called when the attempt finishes, from the serving goroutine.
+func (e *Engine) watch(ctx context.Context) (context.Context, func()) {
+	if e.stopWatch == nil {
+		return ctx, func() {}
+	}
+	actx, cancel := context.WithCancelCause(ctx)
+	e.watchMu.Lock()
+	e.watchSeq++
+	id := e.watchSeq
+	e.watched[id] = cancel
+	e.watchMu.Unlock()
+	return actx, func() {
+		e.watchMu.Lock()
+		delete(e.watched, id)
+		e.watchMu.Unlock()
+		cancel(nil)
+	}
+}
+
+// admit claims an in-flight slot, shedding the request when none is free.
+func (e *Engine) admit() error {
+	if e.sem == nil {
+		return nil
+	}
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	default:
+		e.shed.Add(1)
+		return fmt.Errorf("%w: %d requests in flight", ErrOverloaded, e.cfg.MaxInFlight)
+	}
+}
+
+// release returns an admission slot.
+func (e *Engine) release() {
+	if e.sem != nil {
+		<-e.sem
+	}
+}
+
+// retryable classifies a failed attempt. Input errors (shape, singularity,
+// non-finite entries), engine shutdown and the caller's own cancellation
+// are permanent; everything else — injected faults, task panics, watchdog
+// stalls — is transient and worth a retry.
+func retryable(err error) bool {
+	switch {
+	case errors.Is(err, ErrShape),
+		errors.Is(err, ErrSingular),
+		errors.Is(err, ErrNonFinite),
+		errors.Is(err, ErrEngineClosed),
+		errors.Is(err, sched.ErrPoolClosed):
+		return false
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return false
+	}
+	return true
+}
+
+// backoff sleeps for the attempt's exponential backoff (with jitter),
+// returning early with ctx's error if the caller cancels meanwhile.
+func (e *Engine) backoff(ctx context.Context, attempt int) error {
+	d := e.cfg.RetryBackoff << uint(attempt)
+	if d > e.cfg.RetryBackoffMax || d <= 0 {
+		d = e.cfg.RetryBackoffMax
+	}
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// serve runs one factorization request through the self-healing path:
+// admission control, per-attempt watchdog registration, snapshot/restore
+// of the in-place input across retries, and stall classification. run
+// performs one attempt under the context it is given; a is the in-place
+// input to snapshot (nil skips snapshotting).
+func (e *Engine) serve(ctx context.Context, a *Matrix, run func(context.Context) error) error {
+	if err := e.admit(); err != nil {
+		return err
+	}
+	defer e.release()
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
+
+	var snap *Matrix
+	if e.cfg.MaxRetries > 0 && a != nil {
+		// Factorizations destroy their input, so retrying needs the
+		// original back. The snapshot costs one copy of a; engines with
+		// MaxRetries == 0 never pay it.
+		snap = a.Clone()
+	}
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if snap != nil {
+				a.CopyFrom(snap)
+			}
+			e.retries.Add(1)
+		}
+		actx, release := e.watch(ctx)
+		err := run(actx)
+		stalled := err != nil && errors.Is(context.Cause(actx), ErrStalled)
+		release()
+		if err == nil {
+			return nil
+		}
+		if stalled {
+			e.stalls.Add(1)
+			// Substitute the stall sentinel for the raw cancellation error:
+			// the attempt died because the watchdog cancelled it, and — as
+			// a self-inflicted cancellation — it must stay retryable, which
+			// the wrapped context.Canceled would not be.
+			err = fmt.Errorf("%w: no task completed for %v (%v)", ErrStalled, e.cfg.StallTimeout, err)
+		}
+		err = mapErr(err)
+		if attempt >= e.cfg.MaxRetries || !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+		if werr := e.backoff(ctx, attempt); werr != nil {
+			return err
+		}
+	}
+}
+
 // engineOptions pins the scheduling knobs the engine owns: the worker
-// count is the pool's, not the caller's.
+// count is the pool's, not the caller's, and the engine's default growth
+// threshold applies when the request does not set its own.
 func (e *Engine) engineOptions(opt Options) core.Options {
 	opt.Workers = e.workers
+	if opt.GrowthThreshold == 0 {
+		opt.GrowthThreshold = e.cfg.GrowthThreshold
+	}
 	return opt.internal()
 }
 
-// mapErr rewrites the pool-closed error into the engine's own sentinel.
+// mapErr rewrites internal sentinels into the engine's public vocabulary:
+// a closed pool becomes ErrEngineClosed. Typed errors that already belong
+// to the public API (ErrOverloaded, ErrStalled, ErrNonFinite, wrapped
+// cancellations) pass through unchanged.
 func mapErr(err error) error {
 	if errors.Is(err, sched.ErrPoolClosed) {
 		return ErrEngineClosed
@@ -74,24 +424,19 @@ func mapErr(err error) error {
 
 // LU computes the communication-avoiding LU factorization of a in place on
 // the engine's shared pool. Semantics and results are identical to the
-// package-level LU with Options.Workers set to the engine's worker count.
+// package-level LU with Options.Workers set to the engine's worker count,
+// plus the engine's self-healing behaviors (admission control, retries,
+// watchdog) when configured.
 func (e *Engine) LU(a *Matrix, opt Options) (*LUFactorization, error) {
-	res, err := core.CALUWithPool(a, e.engineOptions(opt), e.pool)
-	if err != nil {
-		return nil, mapErr(err)
-	}
-	return &LUFactorization{res: res, workers: e.workers}, nil
+	return e.LUCtx(context.Background(), a, opt) // calint:ignore ctx-propagation -- documented ctx-free entry point
 }
 
 // QR computes the communication-avoiding QR factorization of a in place on
 // the engine's shared pool. Semantics and results are identical to the
-// package-level QR with Options.Workers set to the engine's worker count.
+// package-level QR with Options.Workers set to the engine's worker count,
+// plus the engine's self-healing behaviors when configured.
 func (e *Engine) QR(a *Matrix, opt Options) (*QRFactorization, error) {
-	res, err := core.CAQRWithPool(a, e.engineOptions(opt), e.pool)
-	if err != nil {
-		return nil, mapErr(err)
-	}
-	return &QRFactorization{res: res, workers: e.workers}, nil
+	return e.QRCtx(context.Background(), a, opt) // calint:ignore ctx-propagation -- documented ctx-free entry point
 }
 
 // LUCtx is Engine.LU bound to a context: if ctx is cancelled or its
@@ -100,11 +445,17 @@ func (e *Engine) QR(a *Matrix, opt Options) (*QRFactorization, error) {
 // and never a partial result. Kernels already executing finish; everything
 // still queued is drained unrun, the engine's pool stays fully usable, and
 // concurrent submissions are unaffected. Note that a is factored in place,
-// so its contents are unspecified after a cancelled call.
+// so its contents are unspecified after a cancelled call (a retrying
+// engine restores it between attempts, but not after the final failure).
 func (e *Engine) LUCtx(ctx context.Context, a *Matrix, opt Options) (*LUFactorization, error) {
-	res, err := core.CALUWithPoolCtx(ctx, a, e.engineOptions(opt), e.pool)
+	var res *core.LUResult
+	err := e.serve(ctx, a, func(actx context.Context) error {
+		var rerr error
+		res, rerr = core.CALUWithPoolCtx(actx, a, e.engineOptions(opt), e.pool)
+		return rerr
+	})
 	if err != nil {
-		return nil, mapErr(err)
+		return nil, err
 	}
 	return &LUFactorization{res: res, workers: e.workers}, nil
 }
@@ -112,9 +463,14 @@ func (e *Engine) LUCtx(ctx context.Context, a *Matrix, opt Options) (*LUFactoriz
 // QRCtx is Engine.QR bound to a context, with the same cancellation
 // semantics as Engine.LUCtx.
 func (e *Engine) QRCtx(ctx context.Context, a *Matrix, opt Options) (*QRFactorization, error) {
-	res, err := core.CAQRWithPoolCtx(ctx, a, e.engineOptions(opt), e.pool)
+	var res *core.QRResult
+	err := e.serve(ctx, a, func(actx context.Context) error {
+		var rerr error
+		res, rerr = core.CAQRWithPoolCtx(actx, a, e.engineOptions(opt), e.pool)
+		return rerr
+	})
 	if err != nil {
-		return nil, mapErr(err)
+		return nil, err
 	}
 	return &QRFactorization{res: res, workers: e.workers}, nil
 }

@@ -1,0 +1,66 @@
+package factor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestMapErr pins the engine's error vocabulary: internal sentinels are
+// rewritten into public ones, and errors that are already public — the
+// self-healing sentinels included — pass through with their chains intact.
+func TestMapErr(t *testing.T) {
+	cases := []struct {
+		name string
+		in   error
+		want error // sentinel the mapped error must satisfy errors.Is against
+	}{
+		{"pool closed", sched.ErrPoolClosed, ErrEngineClosed},
+		{"wrapped pool closed", fmt.Errorf("submit: %w", sched.ErrPoolClosed), ErrEngineClosed},
+		{"overloaded", fmt.Errorf("%w: 4 in flight", ErrOverloaded), ErrOverloaded},
+		{"stalled", fmt.Errorf("%w: no progress", ErrStalled), ErrStalled},
+		{"non-finite", fmt.Errorf("core: %w: A(0,0)", ErrNonFinite), ErrNonFinite},
+		{"wrapped cancellation", fmt.Errorf("sched: %w: %w", sched.ErrCancelled, context.Canceled), ErrCancelled},
+		{"singular", fmt.Errorf("panel 2: %w", ErrSingular), ErrSingular},
+		{"shape", fmt.Errorf("%w: nil", ErrShape), ErrShape},
+	}
+	for _, tc := range cases {
+		got := mapErr(tc.in)
+		if !errors.Is(got, tc.want) {
+			t.Errorf("%s: mapErr(%v) = %v, want errors.Is(_, %v)", tc.name, tc.in, got, tc.want)
+		}
+	}
+	if got := mapErr(nil); got != nil {
+		t.Errorf("mapErr(nil) = %v", got)
+	}
+}
+
+// TestRetryable pins the retry classifier: input and shutdown errors are
+// permanent, caller cancellations are final, and everything transient —
+// stalls, injected faults, task panics — is retried.
+func TestRetryable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"shape", fmt.Errorf("%w: 0x3", ErrShape), false},
+		{"singular", fmt.Errorf("panel 0: %w", ErrSingular), false},
+		{"non-finite", fmt.Errorf("%w: A(1,2)", ErrNonFinite), false},
+		{"engine closed", ErrEngineClosed, false},
+		{"pool closed", fmt.Errorf("x: %w", sched.ErrPoolClosed), false},
+		{"caller cancel", fmt.Errorf("%w: %w", sched.ErrCancelled, context.Canceled), false},
+		{"deadline", fmt.Errorf("%w: %w", sched.ErrCancelled, context.DeadlineExceeded), false},
+		{"stalled", fmt.Errorf("%w: no task completed", ErrStalled), true},
+		{"task panic", errors.New("sched: task 3 (S k=0) panicked: boom"), true},
+		{"spurious", fmt.Errorf("sched: task 1 failed: %w", errors.New("injected")), true},
+	}
+	for _, tc := range cases {
+		if got := retryable(tc.err); got != tc.want {
+			t.Errorf("%s: retryable(%v) = %v, want %v", tc.name, tc.err, got, tc.want)
+		}
+	}
+}

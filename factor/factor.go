@@ -102,6 +102,12 @@ type Options struct {
 	// StructuredTree switches CAQR's tree merges to the structured
 	// triangle-on-triangle kernel (faster; same R up to rounding).
 	StructuredTree bool
+	// GrowthThreshold arms LU's pivot-growth guardrail: a panel whose
+	// element growth max|U|/max|A| exceeds it is re-factored with straight
+	// partial pivoting (GEPP) and recorded in FallbackPanels. 0 disables
+	// the guardrail (or defers to EngineConfig.GrowthThreshold on an
+	// engine). QR ignores it.
+	GrowthThreshold float64
 	// Trace records per-task execution events, retrievable via the result
 	// handles' Events fields.
 	Trace bool
@@ -117,14 +123,15 @@ func (o Options) internal() core.Options {
 		tr = workers
 	}
 	return core.Options{
-		BlockSize:      o.BlockSize,
-		PanelThreads:   tr,
-		Tree:           tslu.Tree(o.Tree),
-		Workers:        workers,
-		Lookahead:      !o.NoLookahead,
-		WorkStealing:   o.WorkStealing,
-		StructuredTree: o.StructuredTree,
-		Trace:          o.Trace,
+		BlockSize:       o.BlockSize,
+		PanelThreads:    tr,
+		Tree:            tslu.Tree(o.Tree),
+		Workers:         workers,
+		Lookahead:       !o.NoLookahead,
+		WorkStealing:    o.WorkStealing,
+		StructuredTree:  o.StructuredTree,
+		GrowthThreshold: o.GrowthThreshold,
+		Trace:           o.Trace,
 	}
 }
 
@@ -210,6 +217,11 @@ func (f *LUFactorization) Solve(rhs *Matrix) { f.res.Solve(rhs) }
 func (f *LUFactorization) Events() []TaskEvent {
 	return taskEvents(f.res.Events, f.res.Graph, f.workers)
 }
+
+// FallbackPanels lists the panel iterations the pivot-growth guardrail
+// re-factored with GEPP (see Options.GrowthThreshold), in ascending order.
+// Empty when the guardrail is off or never tripped.
+func (f *LUFactorization) FallbackPanels() []int { return f.res.FallbackPanels }
 
 // QRFactorization is the result of QR: A = Q*R with R upper triangular in
 // the input matrix and Q held implicitly (leaf reflectors in the matrix,

@@ -35,9 +35,15 @@ func TestGolden(t *testing.T) {
 		{"ctxprop", "repro/internal/ctxlib"},
 		{"errcontract", "repro/internal/core/fixture"},
 		{"gohygiene", "repro/internal/sched/fixture"},
+		// The hygiene scope also covers the engine and the chaos injector.
+		{"gohygiene", "repro/factor/fixture"},
+		{"gohygiene", "repro/internal/fault/fixture"},
 		// Scope probe: the same Background() call that is a finding in a
 		// library package must be clean under cmd/.
 		{"cmdscope", "repro/cmd/cmdscope"},
+		// Scope probe: naked go statements outside the hygiene scope are
+		// not findings.
+		{"gohygieneoos", "repro/internal/matrix/fixture"},
 	}
 	root, err := filepath.Abs("../..")
 	if err != nil {

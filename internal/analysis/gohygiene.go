@@ -6,12 +6,16 @@ import (
 	"strings"
 )
 
-// goroutineHygieneCheck enforces the scheduler's goroutine discipline:
-// every `go` statement inside internal/sched must route panics through a
-// recover path. A panic escaping a naked worker or watcher goroutine
-// crashes the whole process and takes every concurrent submission with it
-// — the exact failure isolation Pool.Submit's panic-to-error contract
-// exists to prevent.
+// goroutineHygieneCheck enforces the executor stack's goroutine
+// discipline: every `go` statement inside the scoped packages must route
+// panics through a recover path. A panic escaping a naked worker, watchdog
+// or injector goroutine crashes the whole process and takes every
+// concurrent submission with it — the exact failure isolation
+// Pool.Submit's panic-to-error contract exists to prevent.
+//
+// The scope covers the scheduler (internal/sched), the public engine built
+// on it (factor — its watchdog and request-serving goroutines), and the
+// chaos injector that perturbs both (internal/fault).
 //
 // A `go` statement passes when:
 //   - its function literal installs a defer that calls recover()
@@ -21,14 +25,25 @@ import (
 func goroutineHygieneCheck() *Check {
 	return &Check{
 		Name: "goroutine-hygiene",
-		Doc:  "go statements in internal/sched must install a recover path (spawn helper or defer/recover)",
+		Doc:  "go statements in internal/sched, factor and internal/fault must install a recover path (spawn helper or defer/recover)",
 		Run:  runGoroutineHygiene,
 	}
 }
 
+// hygienePkgs are the module-relative package paths the goroutine-hygiene
+// check applies to (each including its subpackages).
+var hygienePkgs = []string{schedPkg, "factor", "internal/fault"}
+
 func runGoroutineHygiene(pass *Pass) {
 	rel := passRel(pass)
-	if rel != schedPkg && !strings.HasPrefix(rel, schedPkg+"/") {
+	inScope := false
+	for _, p := range hygienePkgs {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
 		return
 	}
 	info := pass.TypesInfo()
@@ -53,7 +68,7 @@ func runGoroutineHygiene(pass *Pass) {
 			switch fun := ast.Unparen(g.Call.Fun).(type) {
 			case *ast.FuncLit:
 				if !hasRecoverDefer(fun.Body) {
-					pass.Reportf(g.Pos(), "naked go func() in internal/sched: install a defer/recover or use the spawn helper so a panic fails one submission, not the process")
+					pass.Reportf(g.Pos(), "naked go func() in %s: install a defer/recover or use the spawn helper so a panic fails one submission, not the process", rel)
 				}
 			default:
 				callee := funcObj(info, g.Call)
@@ -62,7 +77,7 @@ func runGoroutineHygiene(pass *Pass) {
 						return true
 					}
 				}
-				pass.Reportf(g.Pos(), "go statement in internal/sched outside the pool's recover path: route it through the spawn helper or a function that defers recover()")
+				pass.Reportf(g.Pos(), "go statement in %s outside the pool's recover path: route it through the spawn helper or a function that defers recover()", rel)
 			}
 			return true
 		})

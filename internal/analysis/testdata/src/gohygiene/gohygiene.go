@@ -1,6 +1,8 @@
 // Package gohygiene is a golden-test fixture for the goroutine-hygiene
 // check. The golden test loads it masqueraded as
-// "repro/internal/sched/fixture" so the scheduler scope applies.
+// "repro/internal/sched/fixture", "repro/factor/fixture" and
+// "repro/internal/fault/fixture", so every package of the check's scope
+// applies; the diagnostics must fire identically under each.
 package gohygiene
 
 // NakedGo spawns with no recover path: a panic here kills the process.

@@ -1,0 +1,21 @@
+// Package gohygieneoos is the out-of-scope probe for the goroutine-hygiene
+// check: the golden test loads it masqueraded as a package outside the
+// check's scope (internal/matrix), where the same naked go statements that
+// are findings in internal/sched, factor and internal/fault must be clean.
+package gohygieneoos
+
+// NakedGoOutOfScope would be a finding inside the hygiene scope.
+func NakedGoOutOfScope(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}
+
+// NamedOutOfScope likewise.
+func NamedOutOfScope(ch chan int) {
+	go plain(ch)
+}
+
+func plain(ch chan int) {
+	ch <- 1
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/lapack"
 	"repro/internal/matrix"
 	"repro/internal/sched"
+	"repro/internal/scratch"
 	"repro/internal/tslu"
 )
 
@@ -23,6 +24,10 @@ type LUResult struct {
 	Events []sched.Event
 	// Graph is the executed task graph (retained for inspection).
 	Graph *sched.Graph
+	// FallbackPanels lists the iterations whose panel the pivot-growth
+	// guardrail re-factored with GEPP (see Options.GrowthThreshold), in
+	// ascending order. Empty when the guardrail is off or never tripped.
+	FallbackPanels []int
 }
 
 // ApplyPerm applies the factorization's full row permutation P to b
@@ -87,6 +92,10 @@ func CALUWithPoolCtx(ctx context.Context, a *matrix.Dense, opt Options, pool *sc
 	if err := validateInput(a); err != nil {
 		return nil, err
 	}
+	maxA, err := scanFinite(a)
+	if err != nil {
+		return nil, err
+	}
 	if a.Rows < a.Cols {
 		left := a.View(0, 0, a.Rows, a.Rows)
 		res, err := CALUWithPoolCtx(ctx, left, opt, pool)
@@ -107,11 +116,17 @@ func CALUWithPoolCtx(ctx context.Context, a *matrix.Dense, opt Options, pool *sc
 	res := &LUResult{A: a}
 	b := newCALUBuilder(a.Rows, a.Cols, &opt)
 	b.bind(a, res)
+	b.maxA = maxA
 	b.build()
 	events, err := runGraph(ctx, b.g, &opt, pool)
 	res.Events = events
 	res.Graph = b.g
 	res.Swaps = b.swaps
+	for k, fb := range b.fellBack {
+		if fb {
+			res.FallbackPanels = append(res.FallbackPanels, k)
+		}
+	}
 	if err != nil {
 		return res, fmt.Errorf("core: CALU execution failed: %w", err)
 	}
@@ -152,23 +167,26 @@ type caluBuilder struct {
 	fronts []frontier
 
 	// Binding state; nil for graph-only builds.
-	a     *matrix.Dense
-	res   *LUResult
-	swaps [][]int
-	errs  []error
+	a        *matrix.Dense
+	res      *LUResult
+	swaps    [][]int
+	errs     []error
+	maxA     float64 // max|A| of the input, guardrail denominator
+	fellBack []bool  // per iteration: growth guardrail took the GEPP path
 }
 
 func newCALUBuilder(m, n int, opt *Options) *caluBuilder {
 	nb := (n + opt.BlockSize - 1) / opt.BlockSize
 	return &caluBuilder{
-		g:      sched.NewGraph(),
-		opt:    opt,
-		m:      m,
-		n:      n,
-		nb:     nb,
-		fronts: make([]frontier, nb),
-		swaps:  make([][]int, nb),
-		errs:   make([]error, nb),
+		g:        sched.NewGraph(),
+		opt:      opt,
+		m:        m,
+		n:        n,
+		nb:       nb,
+		fronts:   make([]frontier, nb),
+		swaps:    make([][]int, nb),
+		errs:     make([]error, nb),
+		fellBack: make([]bool, nb),
 	}
 }
 
@@ -304,6 +322,19 @@ func (b *caluBuilder) buildIteration(k int) {
 		t := fin
 		t.Run = func() {
 			root := cands[rootSlot]
+			// Pivot-growth guardrail: tournament pivoting's growth bound
+			// (2^(b*H)) is weaker than GEPP's, so when the composite's
+			// max|U| blows past the threshold the whole panel is
+			// re-factored with straight partial pivoting instead. The
+			// tournament tasks never wrote to a (they factor pooled scratch
+			// copies), so the panel is still pristine here.
+			if thr := b.opt.GrowthThreshold; thr > 0 && b.maxA > 0 &&
+				lapack.MaxUpper(root.Fac) > thr*b.maxA {
+				b.fellBack[k] = true
+				t.Label += " [gepp-fallback]"
+				b.geppFallback(k, r0, c0, w)
+				return
+			}
 			sw := tslu.BuildSwaps(root.Idx, r0)
 			b.swaps[k] = sw
 			colView := b.a.View(0, c0, b.m, w)
@@ -410,6 +441,34 @@ func (b *caluBuilder) buildIteration(k int) {
 				b.dep(s, b.fronts[j].write(lo, hi, s)...)
 			}
 		}
+	}
+}
+
+// geppFallback re-factors iteration k's panel with straight partial
+// pivoting (the recursive GEPP kernel) after the growth guardrail tripped,
+// producing output in exactly the tournament finalize's shape: the GEPP
+// interchanges become the iteration's swap list, applied to the full block
+// column, and the factor's leading square block becomes the composite L\U —
+// the downstream L/U/S tasks cannot tell which pivoting produced them. A
+// rank-deficient panel is recorded in b.errs like the tournament path does.
+func (b *caluBuilder) geppFallback(k, r0, c0, w int) {
+	mr := b.m - r0
+	panel := scratch.Dense(mr, w)
+	panel.CopyFrom(b.a.View(r0, c0, mr, w))
+	kk := min(mr, w)
+	ipiv := make([]int, kk)
+	err := lapack.RGETF2(panel, ipiv)
+	sw := make([]int, kk)
+	for j, p := range ipiv {
+		sw[j] = r0 + p
+	}
+	b.swaps[k] = sw
+	colView := b.a.View(0, c0, b.m, w)
+	tslu.ApplyPivots(colView, sw, r0)
+	colView.View(r0, 0, kk, w).CopyFrom(panel.View(0, 0, kk, w))
+	scratch.Release(panel)
+	if err != nil {
+		b.errs[k] = tslu.ErrSingular
 	}
 }
 

@@ -134,6 +134,9 @@ func CAQRWithPoolCtx(ctx context.Context, a *matrix.Dense, opt Options, pool *sc
 	if err := validateInput(a); err != nil {
 		return nil, err
 	}
+	if _, err := scanFinite(a); err != nil {
+		return nil, err
+	}
 	if a.Rows < a.Cols {
 		left := a.View(0, 0, a.Rows, a.Rows)
 		res, err := CAQRWithPoolCtx(ctx, left, opt, pool)

@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/matrix"
 	"repro/internal/sched"
@@ -38,6 +39,14 @@ var ErrShape = errors.New("core: invalid matrix shape")
 // ErrSingular is re-exported from tslu: a panel was rank deficient.
 // Errors returned by CALU wrap it, so errors.Is(err, ErrSingular) works.
 var ErrSingular = tslu.ErrSingular
+
+// ErrNonFinite reports a NaN or Inf entry in the input matrix. CALU and
+// CAQR reject such inputs before building the task graph: a single
+// non-finite entry silently poisons the whole factorization (pivot
+// comparisons with NaN are false, so even the pivoting goes wrong), and no
+// amount of retrying helps — it is a permanent input error, not a
+// transient one.
+var ErrNonFinite = errors.New("core: matrix contains a non-finite value")
 
 // Options configures CALU and CAQR.
 type Options struct {
@@ -63,6 +72,14 @@ type Options struct {
 	// bit-identical (tasks write disjoint regions); only the schedule
 	// changes. For the scheduling ablation.
 	WorkStealing bool
+	// GrowthThreshold arms CALU's pivot-growth guardrail: after each
+	// panel's tournament, if the composite factor's max|U| exceeds
+	// GrowthThreshold * max|A| the panel is re-factored in place with
+	// straight partial pivoting (GEPP), whose growth bound 2^k is far
+	// stronger than tournament pivoting's 2^(b*H), and the panel index is
+	// recorded in LUResult.FallbackPanels. Zero or negative disables the
+	// monitor. CAQR ignores it (Householder QR is unconditionally stable).
+	GrowthThreshold float64
 	// StructuredTree uses the triangle-on-triangle TTQRT kernel for
 	// eligible CAQR tree merges instead of the paper's dense stacked QR —
 	// the optimization the paper's conclusion anticipates ("we are still
@@ -127,6 +144,25 @@ func validateInput(a *matrix.Dense) error {
 		return fmt.Errorf("%w: %dx%d matrix", ErrShape, a.Rows, a.Cols)
 	}
 	return nil
+}
+
+// scanFinite walks the matrix once, returning an error wrapping
+// ErrNonFinite (with the first offending coordinate) if any entry is NaN
+// or Inf, and max|A| otherwise. The max feeds the pivot-growth guardrail's
+// denominator, so the pre-factorization scan does double duty in one pass.
+func scanFinite(a *matrix.Dense) (float64, error) {
+	maxA := 0.0
+	for j := 0; j < a.Cols; j++ {
+		for i, v := range a.Col(j) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("%w: A(%d,%d) = %v", ErrNonFinite, i, j, v)
+			}
+			if v = math.Abs(v); v > maxA {
+				maxA = v
+			}
+		}
+	}
+	return maxA, nil
 }
 
 // priority computes the scheduling priority of a task touching block column

@@ -1,0 +1,223 @@
+// Package fault is a deterministic, seed-driven fault injector for the
+// executor stack's chaos tests. An Injector plugs into sched.Pool's
+// per-task Interceptor hook and perturbs task execution according to a set
+// of Rules: panic the task, delay it, fail it with a spurious error, or
+// fire a one-shot cancellation callback.
+//
+// Target selection is deterministic: whether a rule hits a task depends
+// only on the injector's seed and the task's label (a 64-bit FNV-1a hash
+// mapped to [0, 1) and compared against the rule's Rate), never on
+// wall-clock interleaving. Re-running a chaos test with the same seed,
+// rules and graph therefore injects faults into exactly the same tasks —
+// what differs between runs is only the schedule around them. Rules with a
+// Count cap are the one exception: once the cap is spent, later matching
+// tasks pass through, and which concurrent task spends the last slot is a
+// race (by design — a one-shot fault models a transient event, not a
+// property of a task).
+//
+// Production builds never import this package; the only cost they pay for
+// the hook's existence is sched.Pool's single nil-check per task.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// ErrInjected marks every failure manufactured by an Injector — both
+// spurious task errors and injected panics wrap it, and the wrapping
+// survives sched's panic-to-error recovery, so chaos tests can
+// errors.Is(err, fault.ErrInjected) on whatever surfaces from
+// Submission.Wait or factor.Engine.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Kind enumerates the fault types an Injector can produce.
+type Kind int
+
+// Fault kinds.
+const (
+	// Panic makes the selected task panic (with an error wrapping
+	// ErrInjected) before its Run executes, exercising the pool's
+	// panic-to-error isolation.
+	Panic Kind = iota
+	// Delay sleeps for Rule.Delay before the task runs, simulating a
+	// straggler kernel or a descheduled worker; the task then succeeds.
+	Delay
+	// Error fails the selected task with a spurious error wrapping
+	// ErrInjected, without running it — a transient failure with no
+	// numerical cause, the shape retry policies exist for.
+	Error
+	// CancelOnce invokes the callback registered with OnCancel the first
+	// time a selected task is dispatched, then lets the task run. Chaos
+	// tests register a context.CancelFunc to model an external
+	// cancellation landing mid-factorization.
+	CancelOnce
+)
+
+// String names the kind in stats and errors.
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	case Error:
+		return "error"
+	case CancelOnce:
+		return "cancel-once"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// nKinds is the size of the per-kind counter array.
+const nKinds = int(CancelOnce) + 1
+
+// Rule selects tasks and the fault applied to them.
+type Rule struct {
+	// Kind is the fault to inject.
+	Kind Kind
+	// Match restricts the rule to tasks whose label contains this
+	// substring ("P k=" targets panel tasks). Empty matches every task.
+	Match string
+	// Rate in (0, 1] is the fraction of matching tasks hit, selected by
+	// the deterministic label hash. 1 hits every matching task.
+	Rate float64
+	// Count caps the number of firings; 0 means unlimited. CancelOnce
+	// fires at most once regardless.
+	Count int
+	// Delay is the sleep duration for Kind Delay.
+	Delay time.Duration
+}
+
+// rule is a Rule plus its firing budget.
+type rule struct {
+	Rule
+	remaining atomic.Int64 // <0 when unlimited
+}
+
+// Injector injects the configured faults through sched.Pool's Interceptor
+// hook. Safe for concurrent use by every pool worker.
+type Injector struct {
+	seed  int64
+	rules []*rule
+
+	mu       sync.Mutex
+	onCancel func()
+
+	counts [nKinds]atomic.Int64
+}
+
+// New builds an injector with the given seed and rules. The seed
+// perturbs target selection: different seeds hit different task subsets
+// at the same Rate.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{seed: seed}
+	for _, r := range rules {
+		if r.Rate <= 0 {
+			panic(fmt.Sprintf("fault: rule with rate %g", r.Rate))
+		}
+		rr := &rule{Rule: r}
+		limit := int64(r.Count)
+		if r.Kind == CancelOnce && (limit == 0 || limit > 1) {
+			limit = 1
+		}
+		if limit == 0 {
+			limit = -1 // unlimited
+		}
+		rr.remaining.Store(limit)
+		in.rules = append(in.rules, rr)
+	}
+	return in
+}
+
+// OnCancel registers the callback CancelOnce rules invoke, typically a
+// context.CancelFunc for the request under test.
+func (in *Injector) OnCancel(fn func()) {
+	in.mu.Lock()
+	in.onCancel = fn
+	in.mu.Unlock()
+}
+
+// Injected returns how many faults of the given kind have fired.
+func (in *Injector) Injected(k Kind) int64 { return in.counts[k].Load() }
+
+// Intercept is the sched.Interceptor: install it with
+// pool.SetInterceptor(inj.Intercept) or factor.EngineConfig.Interceptor.
+func (in *Injector) Intercept(info sched.TaskInfo) error {
+	for _, r := range in.rules {
+		if r.Match != "" && !strings.Contains(info.Label, r.Match) {
+			continue
+		}
+		if !selected(in.seed, info.Label, r.Rate) {
+			continue
+		}
+		if !r.spend() {
+			continue
+		}
+		in.counts[r.Kind].Add(1)
+		switch r.Kind {
+		case Panic:
+			panic(fmt.Errorf("%w: injected panic in task %q", ErrInjected, info.Label))
+		case Delay:
+			time.Sleep(r.Delay)
+		case Error:
+			return fmt.Errorf("%w: injected error in task %q", ErrInjected, info.Label)
+		case CancelOnce:
+			in.mu.Lock()
+			fn := in.onCancel
+			in.mu.Unlock()
+			if fn != nil {
+				fn()
+			}
+		}
+	}
+	return nil
+}
+
+// spend consumes one firing slot, returning false when the budget is gone.
+func (r *rule) spend() bool {
+	for {
+		cur := r.remaining.Load()
+		if cur < 0 {
+			return true // unlimited
+		}
+		if cur == 0 {
+			return false
+		}
+		if r.remaining.CompareAndSwap(cur, cur-1) {
+			return true
+		}
+	}
+}
+
+// selected maps (seed, label) to a uniform value in [0, 1) via FNV-1a and
+// compares it against rate. Deterministic across runs and platforms.
+func selected(seed int64, label string, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	s := uint64(seed)
+	for i := 0; i < 8; i++ {
+		h ^= (s >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	// Top 53 bits give a uniform double in [0, 1).
+	u := float64(h>>11) / (1 << 53)
+	return u < rate
+}

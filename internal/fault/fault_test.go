@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+func info(label string) sched.TaskInfo {
+	return sched.TaskInfo{Label: label, Kind: sched.KindS}
+}
+
+// TestSelectionDeterministic pins the core reproducibility property: the
+// set of labels a rule hits depends only on (seed, label, rate).
+func TestSelectionDeterministic(t *testing.T) {
+	labels := []string{"P k=0 leaf=0", "L k=0 i=1", "U k=1 j=2", "S k=1 i=0 j=2", "F k=3"}
+	first := make([]bool, len(labels))
+	for i, l := range labels {
+		first[i] = selected(42, l, 0.5)
+	}
+	for run := 0; run < 3; run++ {
+		for i, l := range labels {
+			if selected(42, l, 0.5) != first[i] {
+				t.Fatalf("selection of %q changed across runs", l)
+			}
+		}
+	}
+	// A different seed must change at least one decision at rate 0.5 over a
+	// larger label population.
+	diff := false
+	for i := 0; i < 64 && !diff; i++ {
+		l := labels[i%len(labels)] + string(rune('a'+i))
+		diff = selected(42, l, 0.5) != selected(43, l, 0.5)
+	}
+	if !diff {
+		t.Fatal("seed has no effect on selection")
+	}
+}
+
+// TestSelectionRate sanity-checks the hash-to-rate mapping: at rate r,
+// roughly r of a large label population is selected.
+func TestSelectionRate(t *testing.T) {
+	hits := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if selected(7, "task "+string(rune(i%26+'a'))+string(rune(i/26%26+'a'))+string(rune(i/676+'0')), 0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("rate 0.25 selected %.3f of labels", frac)
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	in := New(1, Rule{Kind: Error, Rate: 1})
+	err := in.Intercept(info("S k=0"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Intercept = %v, want ErrInjected", err)
+	}
+	if in.Injected(Error) != 1 {
+		t.Fatalf("Injected(Error) = %d", in.Injected(Error))
+	}
+}
+
+func TestPanicInjectionWrapsSentinel(t *testing.T) {
+	in := New(1, Rule{Kind: Panic, Rate: 1})
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("no panic")
+		}
+		err, ok := p.(error)
+		if !ok || !errors.Is(err, ErrInjected) {
+			t.Fatalf("panic value %v does not wrap ErrInjected", p)
+		}
+	}()
+	_ = in.Intercept(info("P k=0"))
+}
+
+func TestCountCapAndMatch(t *testing.T) {
+	in := New(1, Rule{Kind: Error, Match: "S ", Rate: 1, Count: 2})
+	if err := in.Intercept(info("P k=0")); err != nil {
+		t.Fatalf("non-matching label hit: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := in.Intercept(info("S k=0")); err == nil {
+			t.Fatalf("firing %d did not inject", i)
+		}
+	}
+	if err := in.Intercept(info("S k=0")); err != nil {
+		t.Fatalf("count cap not enforced: %v", err)
+	}
+	if in.Injected(Error) != 2 {
+		t.Fatalf("Injected(Error) = %d, want 2", in.Injected(Error))
+	}
+}
+
+func TestCancelOnceFiresOnce(t *testing.T) {
+	in := New(1, Rule{Kind: CancelOnce, Rate: 1})
+	fired := 0
+	in.OnCancel(func() { fired++ })
+	for i := 0; i < 3; i++ {
+		if err := in.Intercept(info("U k=0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("cancel fired %d times, want 1", fired)
+	}
+}
+
+func TestDelayInjection(t *testing.T) {
+	in := New(1, Rule{Kind: Delay, Rate: 1, Delay: 20 * time.Millisecond, Count: 1})
+	start := time.Now()
+	if err := in.Intercept(info("S k=0")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay injection slept only %v", d)
+	}
+}

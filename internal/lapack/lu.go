@@ -247,6 +247,14 @@ func GrowthFactor(lu *matrix.Dense, orig *matrix.Dense) float64 {
 	if maxA == 0 {
 		return 0
 	}
+	return MaxUpper(lu) / maxA
+}
+
+// MaxUpper returns max|U|: the largest magnitude on or above the diagonal
+// of an in-place LU factor. It is the single source of the numerator in
+// every growth computation — GrowthFactor, stability.Growth and the CALU
+// runtime guardrail all divide it by a max|A|.
+func MaxUpper(lu *matrix.Dense) float64 {
 	k := min(lu.Rows, lu.Cols)
 	maxU := 0.0
 	for i := 0; i < k; i++ {
@@ -256,7 +264,7 @@ func GrowthFactor(lu *matrix.Dense, orig *matrix.Dense) float64 {
 			}
 		}
 	}
-	return maxU / maxA
+	return maxU
 }
 
 // GETRI computes the inverse of a square matrix from its in-place LU

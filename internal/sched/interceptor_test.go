@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// icChain builds a linear graph of n tasks, each incrementing ran.
+func icChain(n int, ran *atomic.Int64) *Graph {
+	g := NewGraph()
+	var prev *Task
+	for i := 0; i < n; i++ {
+		t := g.Add(&Task{Label: fmt.Sprintf("t%d", i), Run: func() { ran.Add(1) }})
+		if prev != nil {
+			g.AddDep(prev, t)
+		}
+		prev = t
+	}
+	return g
+}
+
+// TestInterceptorErrorFailsSubmission checks that an interceptor error
+// fails the task (and so the submission) with the error preserved for
+// errors.Is, without running the task's closure, and that the pool stays
+// usable once the interceptor is removed.
+func TestInterceptorErrorFailsSubmission(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	sentinel := errors.New("injected")
+	var hit atomic.Int64
+	p.SetInterceptor(func(info TaskInfo) error {
+		if info.Label == "t1" && hit.Add(1) == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	var ran atomic.Int64
+	sub, err := p.Submit(icChain(3, &ran), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Wait(); !errors.Is(err, sentinel) {
+		t.Fatalf("Wait = %v, want wrapped sentinel", err)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("ran %d tasks, want 1 (t0 only: t1 failed, t2 drained)", got)
+	}
+	p.SetInterceptor(nil)
+	ran.Store(0)
+	sub, err = p.Submit(icChain(3, &ran), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Wait(); err != nil {
+		t.Fatalf("clean submission after interceptor removal: %v", err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("ran %d tasks, want 3", got)
+	}
+}
+
+// TestInterceptorPanicCaptured checks the recover barrier: an interceptor
+// panic fails only its submission, like a task panic would.
+func TestInterceptorPanicCaptured(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	sentinel := errors.New("boom")
+	p.SetInterceptor(func(info TaskInfo) error {
+		if info.Label == "t0" {
+			panic(fmt.Errorf("%w: chaos", sentinel))
+		}
+		return nil
+	})
+	var ran atomic.Int64
+	sub, err := p.Submit(icChain(2, &ran), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Wait(); !errors.Is(err, sentinel) {
+		t.Fatalf("Wait = %v, want wrapped panic error", err)
+	}
+	p.SetInterceptor(nil)
+	sub, err = p.Submit(icChain(2, &ran), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Wait(); err != nil {
+		t.Fatalf("pool poisoned after interceptor panic: %v", err)
+	}
+}
+
+// TestCompletedTasksCounts checks the progress counter covers both
+// executed and drained tasks, so a stalled-graph watchdog can rely on it
+// reaching the submission's task count.
+func TestCompletedTasksCounts(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	before := p.CompletedTasks()
+	var ran atomic.Int64
+	sub, err := p.Submit(icChain(4, &ran), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CompletedTasks() - before; got != 4 {
+		t.Fatalf("CompletedTasks advanced by %d, want 4", got)
+	}
+	// A failing submission still accounts for every task (drained included).
+	p.SetInterceptor(func(info TaskInfo) error { return errors.New("fail all") })
+	defer p.SetInterceptor(nil)
+	before = p.CompletedTasks()
+	sub, err = p.Submit(icChain(4, &ran), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Wait(); err == nil {
+		t.Fatal("expected failure")
+	}
+	if got := p.CompletedTasks() - before; got != 4 {
+		t.Fatalf("CompletedTasks advanced by %d after failed submission, want 4", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -36,6 +37,26 @@ const (
 	Stealing
 )
 
+// TaskInfo describes one task execution to an Interceptor: enough identity
+// (label, kind, worker) for deterministic fault targeting, without exposing
+// the task's closure or graph internals.
+type TaskInfo struct {
+	// Label is the task's human-readable identity ("S k=2 i=1 j=3").
+	Label string
+	// Kind is the paper's P/L/U/S role.
+	Kind Kind
+	// Worker is the index of the pool goroutine about to run the task.
+	Worker int
+}
+
+// Interceptor is a per-task hook invoked by the pool immediately before a
+// task's Run. A non-nil return marks the task failed exactly as if its Run
+// had returned that error; a panic inside the interceptor is captured by
+// the same recover barrier as a task panic. Interceptors exist for fault
+// injection in chaos tests (see internal/fault); production pools leave it
+// unset and pay a single nil-check per task.
+type Interceptor func(TaskInfo) error
+
 // SubmitOptions configures one graph submission.
 type SubmitOptions struct {
 	// Trace records an Event per task, retrievable from Submission.Wait.
@@ -62,12 +83,18 @@ type SubmitOptions struct {
 type Pool struct {
 	workers int
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	subs   []*Submission // submissions with unfinished tasks
-	rr     int           // round-robin cursor over subs, for fairness
-	closed bool
-	wg     sync.WaitGroup
+	// completed counts every task accounted for (run or drained) since the
+	// pool started. It only ever increases while the pool is live, so a
+	// watchdog can detect a wedged scheduler by watching it stand still.
+	completed atomic.Uint64
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	subs        []*Submission // submissions with unfinished tasks
+	rr          int           // round-robin cursor over subs, for fairness
+	closed      bool
+	interceptor Interceptor // per-task hook; nil in production
+	wg          sync.WaitGroup
 }
 
 // NewPool starts a pool with the given number of worker goroutines
@@ -134,6 +161,22 @@ func closeDoneLocked(s *Submission) {
 
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.workers }
+
+// SetInterceptor installs (or, with nil, removes) the pool's per-task hook.
+// The hook applies to tasks dispatched after the call; tasks already
+// executing keep the hook they started with. Safe to call concurrently
+// with Submit.
+func (p *Pool) SetInterceptor(fn Interceptor) {
+	p.mu.Lock()
+	p.interceptor = fn
+	p.mu.Unlock()
+}
+
+// CompletedTasks returns the number of tasks the pool has accounted for
+// (executed or drained) since it started. The counter is monotonic while
+// the pool is live; a caller that sees it unchanged across a long window
+// with submissions in flight is looking at a stalled scheduler.
+func (p *Pool) CompletedTasks() uint64 { return p.completed.Load() }
 
 // Close stops accepting submissions, waits for in-flight submissions to
 // drain, and joins the workers. It is idempotent and safe to call
@@ -413,14 +456,16 @@ func (p *Pool) worker(id int) {
 			continue
 		}
 		skip := s.failed != nil
+		ic := p.interceptor
 		p.mu.Unlock()
 
 		t0 := time.Since(s.start)
 		var failure error
 		if t.Run != nil && !skip {
-			failure = runTask(t)
+			failure = runTask(t, ic, id)
 		}
 		t1 := time.Since(s.start)
+		p.completed.Add(1)
 
 		p.mu.Lock()
 		// Tasks skipped while draining a failed or cancelled submission never

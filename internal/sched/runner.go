@@ -88,7 +88,11 @@ func runOneShot(g *Graph, workers int, opt SubmitOptions) []Event {
 // preconditions, e.g. panic(fmt.Errorf("%w: ...", blas.ErrShape, ...)) —
 // is wrapped with %w so errors.Is/As keep matching the sentinel through
 // Submission.Wait.
-func runTask(t *Task) (captured error) {
+//
+// When the pool carries an Interceptor it runs first, under the same
+// recover barrier: an interceptor error fails the task without running it,
+// and an interceptor panic is captured like a task panic.
+func runTask(t *Task, ic Interceptor, worker int) (captured error) {
 	defer func() {
 		if p := recover(); p != nil {
 			if err, ok := p.(error); ok {
@@ -98,6 +102,11 @@ func runTask(t *Task) (captured error) {
 			}
 		}
 	}()
+	if ic != nil {
+		if err := ic(TaskInfo{Label: t.Label, Kind: t.Kind, Worker: worker}); err != nil {
+			return fmt.Errorf("sched: task %d (%s) failed: %w", t.ID, t.Label, err)
+		}
+	}
 	t.Run()
 	return nil
 }

@@ -84,6 +84,26 @@ func luMetrics(lu, pa, orig *matrix.Dense) LUReport {
 	}
 }
 
+// Growth returns the element growth factor max|U| / max|A| of an in-place
+// LU factor against the original matrix. It is lapack.GrowthFactor under a
+// stability-centric name, shared by the post-hoc measurements here and by
+// tests that previously open-coded the upper-triangle max.
+func Growth(lu, orig *matrix.Dense) float64 {
+	return lapack.GrowthFactor(lu, orig)
+}
+
+// GrowthExceeded reports whether the factorization's element growth
+// max|U| / max|A| exceeds threshold. A threshold <= 0 means "no limit" and
+// always reports false — the same convention core.Options.GrowthThreshold
+// uses to disable CALU's runtime guardrail, so post-hoc checks and the
+// online monitor agree on what a given threshold means.
+func GrowthExceeded(lu, orig *matrix.Dense, threshold float64) bool {
+	if threshold <= 0 {
+		return false
+	}
+	return Growth(lu, orig) > threshold
+}
+
 // SolveError factors a (square) with the given factor-and-solve closure and
 // returns the relative infinity-norm error against a known random solution.
 func SolveError(a *matrix.Dense, seed int64, solve func(rhs *matrix.Dense) error) float64 {
