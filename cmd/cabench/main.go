@@ -7,11 +7,20 @@
 //	cabench -exp all                   # everything
 //	cabench -exp table1 -measured     # real execution at reduced scale
 //	cabench -exp fig8 -workers 8 -v
+//	cabench -gemm -json BENCH_gemm.json -min-speedup 1.5
 //
 // Modeled mode (default) builds the algorithms' real task graphs at the
 // paper's sizes and schedules them in virtual time on the calibrated
 // machine models; measured mode runs the actual factorizations at reduced
 // sizes and reports wall-clock GFlop/s.
+//
+// -gemm runs the kernel-level performance trajectory instead: packed
+// Goto-style Dgemm against the frozen baseline across square and panel
+// shapes plus the engine-reuse end-to-end LU, optionally writing the
+// BENCH_gemm.json report and failing (exit 1) when the square-512 speedup
+// drops below -min-speedup. CI's benchmark-smoke job runs exactly that
+// gate; the checked-in BENCH_gemm.json is regenerated with a longer
+// -sample for stable numbers.
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -31,6 +41,11 @@ func main() {
 		verbose  = flag.Bool("v", false, "print progress")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+
+		gemm       = flag.Bool("gemm", false, "run the GEMM kernel trajectory instead of paper experiments")
+		jsonPath   = flag.String("json", "", "with -gemm: write the report as JSON to this path")
+		minSpeedup = flag.Float64("min-speedup", 0, "with -gemm: exit 1 if the square-512 packed/baseline speedup is below this")
+		sample     = flag.Duration("sample", 200*time.Millisecond, "with -gemm: minimum measurement window per case")
 	)
 	flag.Parse()
 
@@ -47,6 +62,11 @@ func main() {
 	}
 	if *verbose {
 		cfg.Verbose = os.Stderr
+	}
+
+	if *gemm {
+		runGemm(cfg, *jsonPath, *minSpeedup, *sample)
+		return
 	}
 
 	emit := func(t *bench.Table) {
@@ -81,4 +101,35 @@ func main() {
 		os.Exit(2)
 	}
 	emit(e.Run(cfg))
+}
+
+// runGemm executes the kernel trajectory, optionally writes the JSON
+// report, and enforces the regression gate on the square-512 speedup.
+func runGemm(cfg bench.Config, jsonPath string, minSpeedup float64, sample time.Duration) {
+	rep := bench.RunGemmReport(cfg, sample)
+	rep.Table().Format(os.Stdout)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+		err = rep.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	}
+	if minSpeedup > 0 {
+		got := rep.SpeedupAt("square-512")
+		if got < minSpeedup {
+			fmt.Fprintf(os.Stderr, "gemm regression gate: square-512 speedup %.2fx < required %.2fx\n", got, minSpeedup)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gemm gate ok: square-512 speedup %.2fx >= %.2fx\n", got, minSpeedup)
+	}
 }

@@ -4,9 +4,16 @@
 // machine instead of the paper's 2009 testbeds.
 //
 //	go run ./cmd/calibrate
+//	go run ./cmd/calibrate -tune          # grid-search MC/KC/NC for this host
+//	go run ./cmd/calibrate -tune -n 768   # tune at a different problem size
+//
+// -tune sweeps the packed Dgemm's cache block sizes (see doc/KERNELS.md)
+// and prints the best (MC, KC, NC) triple together with the
+// blas.SetBlockSizes call that applies it.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"runtime"
 	"time"
@@ -19,6 +26,15 @@ import (
 )
 
 func main() {
+	tune := flag.Bool("tune", false, "grid-search packed-Dgemm block sizes (MC/KC/NC) and exit")
+	tuneN := flag.Int("n", 512, "with -tune: square problem size to tune at")
+	flag.Parse()
+
+	if *tune {
+		tuneBlocks(*tuneN)
+		return
+	}
+
 	fmt.Println("measuring kernel rates (a few seconds)...")
 
 	blas3 := rateGemm(384)
@@ -55,6 +71,41 @@ func main() {
 `, "host: "+runtime.GOARCH, runtime.NumCPU(),
 		blas3, recStream, blas2Stream, blas2Stream*2,
 		overhead, recCache, blas2Cache)
+}
+
+// tuneBlocks grid-searches the packed Dgemm's cache block sizes at n^3 and
+// prints the winner. The grid brackets the L2/L3-sized defaults: MC rows of
+// packed A (MC*KC*8 bytes should sit in L2), KC depth (KC*NR*8-byte B
+// strips must stay L1-resident), NC columns of packed B (KC*NC*8 in L3).
+func tuneBlocks(n int) {
+	mcGrid := []int{64, 96, 128, 192, 256}
+	kcGrid := []int{128, 192, 256, 384, 512}
+	ncGrid := []int{1024, 2048, 4096}
+	origMC, origKC, origNC := blas.BlockSizes()
+	defer func() {
+		if err := blas.SetBlockSizes(origMC, origKC, origNC); err != nil {
+			panic(err)
+		}
+	}()
+	fmt.Printf("tuning packed Dgemm block sizes at n=%d (kernel %s)...\n", n, blas.KernelName())
+	bestRate := 0.0
+	bestMC, bestKC, bestNC := origMC, origKC, origNC
+	for _, nc := range ncGrid {
+		for _, kc := range kcGrid {
+			for _, mc := range mcGrid {
+				if err := blas.SetBlockSizes(mc, kc, nc); err != nil {
+					panic(err)
+				}
+				r := rateGemm(n)
+				fmt.Printf("  MC=%-4d KC=%-4d NC=%-5d %7.2f GFlop/s\n", mc, kc, nc, r/1e9)
+				if r > bestRate {
+					bestRate, bestMC, bestKC, bestNC = r, mc, kc, nc
+				}
+			}
+		}
+	}
+	fmt.Printf("\nbest: MC=%d KC=%d NC=%d at %.2f GFlop/s\n", bestMC, bestKC, bestNC, bestRate/1e9)
+	fmt.Printf("apply with:\n\n\tblas.SetBlockSizes(%d, %d, %d)\n", bestMC, bestKC, bestNC)
 }
 
 // rateGemm returns achieved flops/s of the blocked Dgemm at size n^3.

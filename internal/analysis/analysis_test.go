@@ -32,6 +32,9 @@ func TestGolden(t *testing.T) {
 		as  string // masquerade import path
 	}{
 		{"scratchrelease", "repro/internal/scratchfix"},
+		// Pack-buffer paths of the rebuilt BLAS3: a leaked pack buffer in a
+		// Dgemm-shaped driver must be flagged under the blas import path.
+		{"scratchblas", "repro/internal/blas"},
 		{"ctxprop", "repro/internal/ctxlib"},
 		{"errcontract", "repro/internal/core/fixture"},
 		{"gohygiene", "repro/internal/sched/fixture"},

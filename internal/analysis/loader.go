@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -161,18 +162,25 @@ func (l *Loader) LoadAs(dir, pkgPath string) (*Package, error) {
 	return p, nil
 }
 
-// parseDir parses every non-test .go file in dir, sorted by name for
-// deterministic diagnostics.
+// parseDir parses every buildable non-test .go file in dir, sorted by name
+// for deterministic diagnostics. Build constraints (file suffixes like
+// _amd64.go and //go:build lines) are honored for the host GOOS/GOARCH so
+// per-architecture pairs such as the blas microkernel files don't collide
+// during type-checking.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
+	bctx := build.Default
 	var names []string
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if ok, err := bctx.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

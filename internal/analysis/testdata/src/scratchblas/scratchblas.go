@@ -1,0 +1,60 @@
+// Package scratchblas is a golden-test fixture pinning the scratch-release
+// check's coverage of the packed BLAS3 pack-buffer paths: the fixture is
+// loaded masqueraded as repro/internal/blas and mirrors the acquisition
+// shape of the real Dgemm driver (two pooled pack buffers, early shape
+// bail-outs). A pack buffer that escapes an error return would strand a
+// pool slot per failed call, so the leak variants below must be flagged.
+package scratchblas
+
+import (
+	"errors"
+
+	"repro/internal/scratch"
+)
+
+var errShape = errors.New("blas: shape mismatch")
+
+// PackedGemmOK mirrors the real driver: both pack buffers are covered by
+// defers before any conditional return, so every path is clean.
+func PackedGemmOK(m, n, k int) error {
+	if m < 0 || n < 0 || k < 0 {
+		return errShape
+	}
+	ap := scratch.Get(m * k)
+	defer scratch.Put(ap)
+	bp := scratch.Get(k * n)
+	defer scratch.Put(bp)
+	for i := range ap {
+		ap[i] = 0
+	}
+	for i := range bp {
+		bp[i] = 0
+	}
+	return nil
+}
+
+// PackedGemmLeakOnShape acquires the A pack buffer before validating and
+// bails out without releasing it — the exact leak the defer-before-validate
+// ordering in the real driver exists to prevent.
+func PackedGemmLeakOnShape(m, n, k int) error {
+	ap := scratch.Get(m * k)
+	if n < 0 {
+		return errShape // want "scratch buffer \"ap\" acquired at line \\d+ is not released on this return"
+	}
+	scratch.Put(ap)
+	return nil
+}
+
+// PackedGemmLeakSecondBuffer releases the A buffer on the early return but
+// forgets the B buffer acquired between the two: joins must keep bp live.
+func PackedGemmLeakSecondBuffer(m, n, k int, fail bool) error {
+	ap := scratch.Get(m * k)
+	bp := scratch.Get(k * n)
+	if fail {
+		scratch.Put(ap)
+		return errShape // want "scratch buffer \"bp\" acquired at line \\d+ is not released on this return"
+	}
+	scratch.Put(bp)
+	scratch.Put(ap)
+	return nil
+}

@@ -1,0 +1,398 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/blas"
+)
+
+// This file preserves the pre-packing Level 3 kernels (the cache-blocked
+// but unpacked triple loops that shipped before the Goto-style rebuild of
+// internal/blas) as differential-testing references and as the "before"
+// side of the BENCH_gemm.json perf trajectory. They are bit-for-bit the old
+// blas.Dgemm/Dtrsm/Dtrmm implementations; do not optimize them — their
+// value is staying exactly what the packed kernels are measured against.
+// See doc/KERNELS.md.
+
+// Blocking parameters of the old cache-blocked RefGemm.
+const (
+	refMC = 128 // rows of A per blocked panel
+	refKC = 256 // depth of the rank-kc update
+	refNR = 4   // columns of C per register tile
+)
+
+// RefGemm computes C = alpha*op(A)*op(B) + beta*C where op(A) is m x k and
+// op(B) is k x n, exactly as the pre-refactor blas.Dgemm did: cache-blocked
+// over k and m with a 1x4 column register tile, operating directly on the
+// lda-strided operands (no packing).
+func RefGemm(transA, transB blas.Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	rowA, rowB := m, k
+	if transA == blas.Trans {
+		rowA = k
+	}
+	if transB == blas.Trans {
+		rowB = n
+	}
+	if m < 0 || n < 0 || k < 0 || lda < max(1, rowA) || ldb < max(1, rowB) || ldc < max(1, m) {
+		panic(fmt.Errorf("%w: RefGemm bad dims m=%d n=%d k=%d lda=%d ldb=%d ldc=%d", blas.ErrShape, m, n, k, lda, ldb, ldc))
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	// Scale C by beta first; the kernels below only accumulate.
+	if beta != 1 {
+		for j := 0; j < n; j++ {
+			col := c[j*ldc : j*ldc+m]
+			if beta == 0 {
+				for i := range col {
+					col[i] = 0
+				}
+			} else {
+				for i := range col {
+					col[i] *= beta
+				}
+			}
+		}
+	}
+	if k == 0 || alpha == 0 {
+		return
+	}
+	if transA == blas.NoTrans && transB == blas.NoTrans {
+		refGemmNN(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
+	if transA == blas.Trans && transB == blas.NoTrans {
+		refGemmTN(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
+	if transA == blas.NoTrans && transB == blas.Trans {
+		refGemmNT(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
+	refGemmTT(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+}
+
+// refGemmNN accumulates C += alpha*A*B using cache blocking over k and m and
+// a 1x4 column register tile.
+func refGemmNN(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for kk := 0; kk < k; kk += refKC {
+		kb := min(refKC, k-kk)
+		for ii := 0; ii < m; ii += refMC {
+			ib := min(refMC, m-ii)
+			// C[ii:ii+ib, :] += alpha * A[ii:ii+ib, kk:kk+kb] * B[kk:kk+kb, :]
+			j := 0
+			for ; j+refNR <= n; j += refNR {
+				c0 := c[(j+0)*ldc+ii : (j+0)*ldc+ii+ib]
+				c1 := c[(j+1)*ldc+ii : (j+1)*ldc+ii+ib]
+				c2 := c[(j+2)*ldc+ii : (j+2)*ldc+ii+ib]
+				c3 := c[(j+3)*ldc+ii : (j+3)*ldc+ii+ib]
+				for p := 0; p < kb; p++ {
+					acol := a[(kk+p)*lda+ii : (kk+p)*lda+ii+ib]
+					b0 := alpha * b[(j+0)*ldb+kk+p]
+					b1 := alpha * b[(j+1)*ldb+kk+p]
+					b2 := alpha * b[(j+2)*ldb+kk+p]
+					b3 := alpha * b[(j+3)*ldb+kk+p]
+					for i, av := range acol {
+						c0[i] += av * b0
+						c1[i] += av * b1
+						c2[i] += av * b2
+						c3[i] += av * b3
+					}
+				}
+			}
+			for ; j < n; j++ {
+				ccol := c[j*ldc+ii : j*ldc+ii+ib]
+				for p := 0; p < kb; p++ {
+					bv := alpha * b[j*ldb+kk+p]
+					if bv == 0 {
+						continue
+					}
+					acol := a[(kk+p)*lda+ii : (kk+p)*lda+ii+ib]
+					for i, av := range acol {
+						ccol[i] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// refGemmTN accumulates C += alpha*A^T*B: C(i,j) = dot(A(:,i), B(:,j)).
+func refGemmTN(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for j := 0; j < n; j++ {
+		bcol := b[j*ldb : j*ldb+k]
+		ccol := c[j*ldc : j*ldc+m]
+		for i := 0; i < m; i++ {
+			acol := a[i*lda : i*lda+k]
+			sum := 0.0
+			for p, av := range acol {
+				sum += av * bcol[p]
+			}
+			ccol[i] += alpha * sum
+		}
+	}
+}
+
+// refGemmNT accumulates C += alpha*A*B^T.
+func refGemmNT(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for p := 0; p < k; p++ {
+		acol := a[p*lda : p*lda+m]
+		for j := 0; j < n; j++ {
+			bv := alpha * b[p*ldb+j]
+			if bv == 0 {
+				continue
+			}
+			ccol := c[j*ldc : j*ldc+m]
+			for i, av := range acol {
+				ccol[i] += av * bv
+			}
+		}
+	}
+}
+
+// refGemmTT accumulates C += alpha*A^T*B^T.
+func refGemmTT(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for j := 0; j < n; j++ {
+		ccol := c[j*ldc : j*ldc+m]
+		for i := 0; i < m; i++ {
+			acol := a[i*lda : i*lda+k]
+			sum := 0.0
+			for p, av := range acol {
+				sum += av * b[p*ldb+j]
+			}
+			ccol[i] += alpha * sum
+		}
+	}
+}
+
+// RefTrsm solves op(A)*X = alpha*B (side == Left) or X*op(A) = alpha*B
+// (side == Right) for X, overwriting B, exactly as the pre-refactor
+// blas.Dtrsm did: column-by-column Dtrsv sweeps (Left) and column-oriented
+// axpy elimination (Right), with no gemm-blocked updates.
+func RefTrsm(side blas.Side, uplo blas.Uplo, trans blas.Transpose, diag blas.Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	na := m
+	if side == blas.Right {
+		na = n
+	}
+	if m < 0 || n < 0 || lda < max(1, na) || ldb < max(1, m) {
+		panic(fmt.Errorf("%w: RefTrsm bad dims m=%d n=%d lda=%d ldb=%d", blas.ErrShape, m, n, lda, ldb))
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if alpha != 1 {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			for i := range col {
+				col[i] *= alpha
+			}
+		}
+	}
+	if side == blas.Left {
+		// Solve op(A) * X = B column by column.
+		for j := 0; j < n; j++ {
+			blas.Dtrsv(uplo, trans, diag, m, a, lda, b[j*ldb:j*ldb+m], 1)
+		}
+		return
+	}
+	// side == Right: X * op(A) = B. Process columns of X in dependency order.
+	switch {
+	case uplo == blas.Upper && trans == blas.NoTrans:
+		// X(:,j) = (B(:,j) - sum_{k<j} X(:,k) A(k,j)) / A(j,j)
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			for k := 0; k < j; k++ {
+				akj := a[j*lda+k]
+				if akj == 0 {
+					continue
+				}
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] -= akj * bk[i]
+				}
+			}
+			if diag == blas.NonUnit {
+				inv := 1 / a[j*lda+j]
+				for i := range bj {
+					bj[i] *= inv
+				}
+			}
+		}
+	case uplo == blas.Lower && trans == blas.NoTrans:
+		for j := n - 1; j >= 0; j-- {
+			bj := b[j*ldb : j*ldb+m]
+			for k := j + 1; k < n; k++ {
+				akj := a[j*lda+k]
+				if akj == 0 {
+					continue
+				}
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] -= akj * bk[i]
+				}
+			}
+			if diag == blas.NonUnit {
+				inv := 1 / a[j*lda+j]
+				for i := range bj {
+					bj[i] *= inv
+				}
+			}
+		}
+	case uplo == blas.Upper && trans == blas.Trans:
+		// X * A^T = B with A upper => effective coefficient A(j,k) for k>j.
+		for j := n - 1; j >= 0; j-- {
+			bj := b[j*ldb : j*ldb+m]
+			for k := j + 1; k < n; k++ {
+				ajk := a[k*lda+j]
+				if ajk == 0 {
+					continue
+				}
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] -= ajk * bk[i]
+				}
+			}
+			if diag == blas.NonUnit {
+				inv := 1 / a[j*lda+j]
+				for i := range bj {
+					bj[i] *= inv
+				}
+			}
+		}
+	default: // Lower, Trans
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			for k := 0; k < j; k++ {
+				ajk := a[k*lda+j]
+				if ajk == 0 {
+					continue
+				}
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] -= ajk * bk[i]
+				}
+			}
+			if diag == blas.NonUnit {
+				inv := 1 / a[j*lda+j]
+				for i := range bj {
+					bj[i] *= inv
+				}
+			}
+		}
+	}
+}
+
+// RefTrmm computes B = alpha*op(A)*B (side == Left) or B = alpha*B*op(A)
+// (side == Right) for triangular A, overwriting B, exactly as the
+// pre-refactor blas.Dtrmm did.
+func RefTrmm(side blas.Side, uplo blas.Uplo, trans blas.Transpose, diag blas.Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	na := m
+	if side == blas.Right {
+		na = n
+	}
+	if m < 0 || n < 0 || lda < max(1, na) || ldb < max(1, m) {
+		panic(fmt.Errorf("%w: RefTrmm bad dims m=%d n=%d lda=%d ldb=%d", blas.ErrShape, m, n, lda, ldb))
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if side == blas.Left {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			blas.Dtrmv(uplo, trans, diag, m, a, lda, col, 1)
+			if alpha != 1 {
+				for i := range col {
+					col[i] *= alpha
+				}
+			}
+		}
+		return
+	}
+	// side == Right: B = alpha * B * op(A).
+	switch {
+	case uplo == blas.Upper && trans == blas.NoTrans:
+		for j := n - 1; j >= 0; j-- {
+			bj := b[j*ldb : j*ldb+m]
+			diagV := 1.0
+			if diag == blas.NonUnit {
+				diagV = a[j*lda+j]
+			}
+			for i := range bj {
+				bj[i] *= alpha * diagV
+			}
+			for k := 0; k < j; k++ {
+				akj := alpha * a[j*lda+k]
+				if akj == 0 {
+					continue
+				}
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] += akj * bk[i]
+				}
+			}
+		}
+	case uplo == blas.Lower && trans == blas.NoTrans:
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			diagV := 1.0
+			if diag == blas.NonUnit {
+				diagV = a[j*lda+j]
+			}
+			for i := range bj {
+				bj[i] *= alpha * diagV
+			}
+			for k := j + 1; k < n; k++ {
+				akj := alpha * a[j*lda+k]
+				if akj == 0 {
+					continue
+				}
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] += akj * bk[i]
+				}
+			}
+		}
+	case uplo == blas.Upper && trans == blas.Trans:
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+m]
+			diagV := 1.0
+			if diag == blas.NonUnit {
+				diagV = a[j*lda+j]
+			}
+			for i := range bj {
+				bj[i] *= alpha * diagV
+			}
+			for k := j + 1; k < n; k++ {
+				ajk := alpha * a[k*lda+j]
+				if ajk == 0 {
+					continue
+				}
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] += ajk * bk[i]
+				}
+			}
+		}
+	default: // Lower, Trans
+		for j := n - 1; j >= 0; j-- {
+			bj := b[j*ldb : j*ldb+m]
+			diagV := 1.0
+			if diag == blas.NonUnit {
+				diagV = a[j*lda+j]
+			}
+			for i := range bj {
+				bj[i] *= alpha * diagV
+			}
+			for k := 0; k < j; k++ {
+				ajk := alpha * a[k*lda+j]
+				if ajk == 0 {
+					continue
+				}
+				bk := b[k*ldb : k*ldb+m]
+				for i := range bj {
+					bj[i] += ajk * bk[i]
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package baseline
+
+// Sanity checks for the frozen reference kernels against naive triple
+// loops. The packed kernels in internal/blas are differentially tested
+// against these references (internal/blas/diff_test.go), so the oracle
+// itself must be anchored to the textbook definition here.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/blas"
+)
+
+type lcg uint64
+
+func (r *lcg) next() float64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return float64(int64(*r>>11))/float64(1<<52) - 1
+}
+
+func randSlice(n int, r *lcg) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = r.next()
+	}
+	return s
+}
+
+func TestRefGemmNaive(t *testing.T) {
+	r := lcg(11)
+	for _, transA := range []blas.Transpose{blas.NoTrans, blas.Trans} {
+		for _, transB := range []blas.Transpose{blas.NoTrans, blas.Trans} {
+			m, n, k := 13, 9, 17
+			alpha, beta := -0.7, 1.4
+			rowA, colA := m, k
+			if transA == blas.Trans {
+				rowA, colA = k, m
+			}
+			rowB, colB := k, n
+			if transB == blas.Trans {
+				rowB, colB = n, k
+			}
+			lda, ldb, ldc := rowA+2, rowB+1, m+3
+			a := randSlice(lda*colA, &r)
+			b := randSlice(ldb*colB, &r)
+			c := randSlice(ldc*n, &r)
+			want := append([]float64(nil), c...)
+			for j := 0; j < n; j++ {
+				for i := 0; i < m; i++ {
+					sum := 0.0
+					for p := 0; p < k; p++ {
+						var av, bv float64
+						if transA == blas.Trans {
+							av = a[i*lda+p]
+						} else {
+							av = a[p*lda+i]
+						}
+						if transB == blas.Trans {
+							bv = b[p*ldb+j]
+						} else {
+							bv = b[j*ldb+p]
+						}
+						sum += av * bv
+					}
+					want[j*ldc+i] = alpha*sum + beta*want[j*ldc+i]
+				}
+			}
+			RefGemm(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+			for i := range c {
+				if math.Abs(c[i]-want[i]) > 1e-12*(float64(k)+math.Abs(want[i])) {
+					t.Fatalf("RefGemm transA=%v transB=%v: c[%d]=%g want %g", transA, transB, i, c[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRefTrsmInverts checks RefTrsm by round-trip: X = A^-1 B (RefTrsm)
+// followed by A*X (RefTrmm) must reproduce B, for all 16 parameter combos.
+func TestRefTrsmInverts(t *testing.T) {
+	r := lcg(12)
+	for _, side := range []blas.Side{blas.Left, blas.Right} {
+		for _, uplo := range []blas.Uplo{blas.Upper, blas.Lower} {
+			for _, trans := range []blas.Transpose{blas.NoTrans, blas.Trans} {
+				for _, diag := range []blas.Diag{blas.NonUnit, blas.Unit} {
+					m, n := 11, 7
+					na := m
+					if side == blas.Right {
+						na = n
+					}
+					lda, ldb := na+1, m+2
+					a := randSlice(lda*na, &r)
+					for i := range a {
+						a[i] *= 1 / float64(na)
+					}
+					for i := 0; i < na; i++ {
+						a[i*lda+i] += 2
+					}
+					b := randSlice(ldb*n, &r)
+					orig := append([]float64(nil), b...)
+					RefTrsm(side, uplo, trans, diag, m, n, 1, a, lda, b, ldb)
+					RefTrmm(side, uplo, trans, diag, m, n, 1, a, lda, b, ldb)
+					for j := 0; j < n; j++ {
+						for i := 0; i < m; i++ {
+							idx := j*ldb + i
+							if math.Abs(b[idx]-orig[idx]) > 1e-10*(1+math.Abs(orig[idx])) {
+								t.Fatalf("trsm/trmm round trip side=%v uplo=%v trans=%v diag=%v: b[%d]=%g want %g",
+									side, uplo, trans, diag, idx, b[idx], orig[idx])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package bench
+
+// GEMM performance trajectory: the packed Goto-style Dgemm (internal/blas)
+// against the frozen pre-refactor reference (internal/baseline), plus the
+// BenchmarkEngineReuse-shaped end-to-end LU as the workload-level check.
+// cmd/cabench serializes the report to BENCH_gemm.json so the perf
+// trajectory is checked in alongside the code, and CI gates on the 512
+// square speedup staying above a floor.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/factor"
+	"repro/internal/baseline"
+	"repro/internal/blas"
+)
+
+// GemmCase is one measured GEMM shape.
+type GemmCase struct {
+	// Name labels the shape (square-512, panel-tall-update, ...).
+	Name string `json:"name"`
+	M    int    `json:"m"`
+	N    int    `json:"n"`
+	K    int    `json:"k"`
+	// PackedGFlops is the packed-kernel rate, BaselineGFlops the frozen
+	// reference kernel's rate, both measured in this run.
+	PackedGFlops   float64 `json:"packed_gflops"`
+	BaselineGFlops float64 `json:"baseline_gflops"`
+	// Speedup is PackedGFlops / BaselineGFlops.
+	Speedup float64 `json:"speedup"`
+}
+
+// EngineReuseResult is the end-to-end workload check: the
+// BenchmarkEngineReuse shape (repeated 1000x200 CALU through a persistent
+// engine) timed against the current BLAS. The "before" side of the
+// trajectory lives in EXPERIMENTS.md, measured at the pre-refactor commit.
+type EngineReuseResult struct {
+	M          int     `json:"m"`
+	N          int     `json:"n"`
+	BlockSize  int     `json:"block_size"`
+	Iterations int     `json:"iterations"`
+	MsPerOp    float64 `json:"ms_per_op"`
+}
+
+// GemmReport is the serialized BENCH_gemm.json payload.
+type GemmReport struct {
+	// Kernel identifies the active microkernel (see blas.KernelName).
+	Kernel string `json:"kernel"`
+	GOARCH string `json:"goarch"`
+	GOOS   string `json:"goos"`
+	NumCPU int    `json:"num_cpu"`
+	// MC, KC, NC are the cache block sizes the packed driver ran with.
+	MC int `json:"mc"`
+	KC int `json:"kc"`
+	NC int `json:"nc"`
+	// Cases covers 128-1024 square plus the panel shapes the factorizations
+	// actually issue.
+	Cases []GemmCase `json:"cases"`
+	// EngineReuse is the end-to-end LU workload measurement.
+	EngineReuse EngineReuseResult `json:"engine_reuse"`
+}
+
+// gemmShapes are the trajectory points: the square sweep the issue names
+// plus the panel shapes CALU/CAQR trailing updates issue (tall A against a
+// narrow panel, and a rank-b trailing update).
+var gemmShapes = []struct {
+	name    string
+	m, n, k int
+}{
+	{"square-128", 128, 128, 128},
+	{"square-256", 256, 256, 256},
+	{"square-512", 512, 512, 512},
+	{"square-1024", 1024, 1024, 1024},
+	{"panel-tall-update", 1024, 128, 128},
+	{"panel-wide-update", 128, 1024, 128},
+	{"trailing-rank100", 900, 900, 100},
+}
+
+// timeGemm measures one gemm implementation at m x n x k, repeating until
+// the sample exceeds minSample so short cases aren't timer-noise.
+func timeGemm(m, n, k int, minSample time.Duration,
+	run func(m, n, k int, a, b, c []float64)) float64 {
+	a := fillSeq(m * k)
+	b := fillSeq(k * n)
+	c := make([]float64, m*n)
+	// Warm once (pools, page faults).
+	run(m, n, k, a, b, c)
+	reps := 0
+	start := time.Now()
+	for {
+		run(m, n, k, a, b, c)
+		reps++
+		if el := time.Since(start); el >= minSample && reps >= 2 {
+			return gflops(2*float64(m)*float64(n)*float64(k)*float64(reps), el.Seconds())
+		}
+	}
+}
+
+// fillSeq produces a deterministic non-constant operand.
+func fillSeq(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = float64(i%17) - 8
+	}
+	return s
+}
+
+// RunGemmReport measures the full trajectory. minSample bounds per-case
+// noise (CI smoke uses a short sample, the checked-in report a longer one).
+func RunGemmReport(cfg Config, minSample time.Duration) *GemmReport {
+	mc, kc, nc := blas.BlockSizes()
+	rep := &GemmReport{
+		Kernel: blas.KernelName(),
+		GOARCH: runtime.GOARCH,
+		GOOS:   runtime.GOOS,
+		NumCPU: runtime.NumCPU(),
+		MC:     mc,
+		KC:     kc,
+		NC:     nc,
+	}
+	for _, s := range gemmShapes {
+		progress(cfg, "gemm %s: packed...", s.name)
+		packed := timeGemm(s.m, s.n, s.k, minSample, func(m, n, k int, a, b, c []float64) {
+			blas.Dgemm(blas.NoTrans, blas.NoTrans, m, n, k, 1, a, m, b, k, 0, c, m)
+		})
+		progress(cfg, "gemm %s: baseline...", s.name)
+		base := timeGemm(s.m, s.n, s.k, minSample, func(m, n, k int, a, b, c []float64) {
+			baseline.RefGemm(blas.NoTrans, blas.NoTrans, m, n, k, 1, a, m, b, k, 0, c, m)
+		})
+		gc := GemmCase{Name: s.name, M: s.m, N: s.n, K: s.k,
+			PackedGFlops: packed, BaselineGFlops: base}
+		if base > 0 {
+			gc.Speedup = packed / base
+		}
+		rep.Cases = append(rep.Cases, gc)
+	}
+	rep.EngineReuse = runEngineReuse(cfg)
+	return rep
+}
+
+// runEngineReuse times the BenchmarkEngineReuse workload: repeated
+// 1000 x 200 blocked CALU through a persistent engine, clone excluded.
+func runEngineReuse(cfg Config) EngineReuseResult {
+	const (
+		m, n, nb = 1000, 200, 100
+		iters    = 10
+	)
+	progress(cfg, "engine-reuse: %d iterations of %dx%d LU...", iters, m, n)
+	orig := factor.Random(m, n, 3)
+	opt := factor.Options{BlockSize: nb, PanelThreads: 4}
+	eng := factor.NewEngine(4)
+	defer eng.Close()
+	// Warm the pools as the benchmark's first iterations would.
+	if _, err := eng.LU(orig.Clone(), opt); err != nil {
+		panic(fmt.Sprintf("bench: engine warmup LU failed: %v", err))
+	}
+	var total time.Duration
+	for i := 0; i < iters; i++ {
+		a := orig.Clone()
+		start := time.Now()
+		if _, err := eng.LU(a, opt); err != nil {
+			panic(fmt.Sprintf("bench: engine LU failed: %v", err))
+		}
+		total += time.Since(start)
+	}
+	return EngineReuseResult{
+		M: m, N: n, BlockSize: nb, Iterations: iters,
+		MsPerOp: total.Seconds() * 1e3 / iters,
+	}
+}
+
+// SpeedupAt returns the measured speedup for the named case, or 0 if the
+// report has no such case.
+func (r *GemmReport) SpeedupAt(name string) float64 {
+	for _, c := range r.Cases {
+		if c.Name == name {
+			return c.Speedup
+		}
+	}
+	return 0
+}
+
+// WriteJSON serializes the report, indented for stable diffs in-tree.
+func (r *GemmReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Table renders the report in the cabench table format.
+func (r *GemmReport) Table() *Table {
+	t := &Table{
+		ID:       "gemm",
+		Title:    "Packed Dgemm vs frozen baseline (GFlop/s)",
+		PaperRef: "kernel trajectory (doc/KERNELS.md)",
+		Columns:  []string{"packed", "baseline", "speedup"},
+		Unit:     "GFlop/s (speedup is a ratio)",
+		Notes: fmt.Sprintf("kernel=%s MC=%d KC=%d NC=%d; engine-reuse %dx%d LU: %.2f ms/op",
+			r.Kernel, r.MC, r.KC, r.NC, r.EngineReuse.M, r.EngineReuse.N, r.EngineReuse.MsPerOp),
+	}
+	for _, c := range r.Cases {
+		t.Rows = append(t.Rows, RowData{
+			Label: fmt.Sprintf("%s (%dx%dx%d)", c.Name, c.M, c.N, c.K),
+			Values: map[string]float64{
+				"packed": c.PackedGFlops, "baseline": c.BaselineGFlops, "speedup": c.Speedup,
+			},
+		})
+	}
+	return t
+}

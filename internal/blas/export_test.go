@@ -1,0 +1,31 @@
+package blas
+
+// Test hooks for the differential suite (diff_test.go runs every case
+// against both microkernel paths) and fringe-size selection.
+
+// Register tile dimensions, exported for fringe-size test construction.
+const (
+	TestMR = gemmMR
+	TestNR = gemmNR
+)
+
+// ForceGenericKernel forces (on=true) or restores the microkernel
+// dispatch, returning a func that undoes the change. With on=false the
+// architecture's probed default is restored.
+func ForceGenericKernel(on bool) (restore func()) {
+	old := useAsmKernel
+	if on {
+		useAsmKernel = false
+	} else {
+		useAsmKernel = probedAsmKernel
+	}
+	return func() { useAsmKernel = old }
+}
+
+// AsmKernelAvailable reports whether the CPU probe enabled the assembly
+// microkernel on this host.
+func AsmKernelAvailable() bool { return probedAsmKernel }
+
+// probedAsmKernel snapshots the init-time probe result before tests mutate
+// the dispatch.
+var probedAsmKernel = useAsmKernel

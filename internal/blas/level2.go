@@ -41,11 +41,50 @@ const (
 
 // Dger performs the rank-1 update A = A + alpha * x * y^T where A is m x n
 // with leading dimension lda.
+//
+// The unit-incX path — the inner loop of the rgetf2 panel factorization,
+// where this routine is on the critical path of every CALU panel — is
+// unrolled over four columns so each x element loaded feeds four column
+// updates instead of one.
 func Dger(m, n int, alpha float64, x []float64, incX int, y []float64, incY int, a []float64, lda int) {
 	if m < 0 || n < 0 || lda < max(1, m) {
 		panic(fmt.Errorf("%w: Dger bad dims m=%d n=%d lda=%d", ErrShape, m, n, lda))
 	}
 	if m == 0 || n == 0 || alpha == 0 {
+		return
+	}
+	if incX == 1 {
+		xv := x[:m]
+		iy := 0
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			y0 := alpha * y[iy]
+			y1 := alpha * y[iy+incY]
+			y2 := alpha * y[iy+2*incY]
+			y3 := alpha * y[iy+3*incY]
+			iy += 4 * incY
+			a0 := a[(j+0)*lda : (j+0)*lda+m]
+			a1 := a[(j+1)*lda : (j+1)*lda+m]
+			a2 := a[(j+2)*lda : (j+2)*lda+m]
+			a3 := a[(j+3)*lda : (j+3)*lda+m]
+			for i, v := range xv {
+				a0[i] += v * y0
+				a1[i] += v * y1
+				a2[i] += v * y2
+				a3[i] += v * y3
+			}
+		}
+		for ; j < n; j++ {
+			ajy := alpha * y[iy]
+			iy += incY
+			if ajy == 0 {
+				continue
+			}
+			col := a[j*lda : j*lda+m]
+			for i, v := range xv {
+				col[i] += v * ajy
+			}
+		}
 		return
 	}
 	iy := 0
@@ -56,16 +95,10 @@ func Dger(m, n int, alpha float64, x []float64, incX int, y []float64, incY int,
 			continue
 		}
 		col := a[j*lda : j*lda+m]
-		if incX == 1 {
-			for i, xv := range x[:m] {
-				col[i] += xv * ajy
-			}
-		} else {
-			ix := 0
-			for i := 0; i < m; i++ {
-				col[i] += x[ix] * ajy
-				ix += incX
-			}
+		ix := 0
+		for i := 0; i < m; i++ {
+			col[i] += x[ix] * ajy
+			ix += incX
 		}
 	}
 }

@@ -1,16 +1,64 @@
 package blas
 
-import "fmt"
+import (
+	"fmt"
 
-// Blocking parameters for the cache-blocked Dgemm. These are modest,
-// conservative values: kc*mc doubles of the A-panel fit comfortably in L2 on
-// any machine this code targets, and the 4-wide register kernel keeps the
-// inner loop simple enough for the Go compiler to keep in registers.
-const (
-	gemmMC = 128 // rows of A per blocked panel
-	gemmKC = 256 // depth of the rank-kc update
-	gemmNR = 4   // columns of C per register tile
+	"repro/internal/scratch"
 )
+
+// Level 3 drivers. Dgemm is the packed Goto-style implementation described
+// in doc/KERNELS.md: the driver validates shapes, applies beta, then loops
+// pack -> macrokernel over cache-sized blocks, with the pack buffers
+// recycled through internal/scratch. Dtrsm and Dtrmm are blocked drivers
+// that solve/multiply NB-wide diagonal blocks with the unblocked kernels in
+// level3unb.go and push all off-diagonal work through Dgemm, so every BLAS3
+// routine's bulk flops run on the one packed kernel path. The pre-refactor
+// unpacked kernels live on as baseline.RefGemm/RefTrsm/RefTrmm, the
+// differential-testing references.
+
+// Register tile of the packed microkernel. These are fixed by the kernel
+// implementations (microkernel.go, microkernel_amd64.s); the cache block
+// sizes gemmMC/gemmKC/gemmNC are tunable via SetBlockSizes.
+const (
+	gemmMR = 8 // rows of C per register tile (packed A strip height)
+	gemmNR = 4 // columns of C per register tile (packed B strip width)
+)
+
+// Cache blocking parameters of the packed Dgemm: the KC x NC panel of
+// packed B targets outer cache, the MC x KC panel of packed A inner cache,
+// and one KC x NR strip of B streams from L1 while a microkernel runs.
+// Defaults are conservative for the ~1 MiB-L2 class of machines this code
+// targets; cmd/calibrate -tune searches better values for the host.
+var (
+	gemmMC = 128  // rows of packed A per macro block (multiple of gemmMR)
+	gemmKC = 256  // depth of the rank-kc update
+	gemmNC = 4096 // columns of packed B per macro block (multiple of gemmNR)
+)
+
+// trsmNB is the diagonal block width of the blocked Dtrsm/Dtrmm drivers:
+// triangles up to this order solve with the unblocked kernels, larger ones
+// split so the off-diagonal updates run through the packed Dgemm.
+const trsmNB = 64
+
+// BlockSizes returns the active cache blocking parameters (MC, KC, NC) of
+// the packed Dgemm.
+func BlockSizes() (mc, kc, nc int) {
+	return gemmMC, gemmKC, gemmNC
+}
+
+// SetBlockSizes overrides the cache blocking parameters, rounding mc up to
+// a multiple of the MR register tile and nc to a multiple of NR. It is
+// meant for calibration (cmd/calibrate -tune) and benchmarking; it must not
+// be called concurrently with running kernels.
+func SetBlockSizes(mc, kc, nc int) error {
+	if mc < gemmMR || kc < 1 || nc < gemmNR {
+		return fmt.Errorf("%w: SetBlockSizes mc=%d kc=%d nc=%d (need mc>=%d, kc>=1, nc>=%d)", ErrShape, mc, kc, nc, gemmMR, gemmNR)
+	}
+	gemmMC = ceilMul(mc, gemmMR)
+	gemmKC = kc
+	gemmNC = ceilMul(nc, gemmNR)
+	return nil
+}
 
 // Dgemm computes C = alpha*op(A)*op(B) + beta*C where op(A) is m x k and
 // op(B) is k x n. All matrices are column-major with leading dimensions
@@ -29,135 +77,76 @@ func Dgemm(transA, transB Transpose, m, n, k int, alpha float64, a []float64, ld
 	if m == 0 || n == 0 {
 		return
 	}
-	// Scale C by beta first; the kernels below only accumulate.
-	if beta != 1 {
-		for j := 0; j < n; j++ {
-			col := c[j*ldc : j*ldc+m]
-			if beta == 0 {
-				for i := range col {
-					col[i] = 0
-				}
-			} else {
-				for i := range col {
-					col[i] *= beta
-				}
-			}
-		}
-	}
+	// Scale C by beta first; the packed kernels only accumulate.
+	scaleCols(n, m, beta, c, ldc)
 	if k == 0 || alpha == 0 {
 		return
 	}
-	if transA == NoTrans && transB == NoTrans {
-		gemmNN(m, n, k, alpha, a, lda, b, ldb, c, ldc)
-		return
-	}
-	if transA == Trans && transB == NoTrans {
-		gemmTN(m, n, k, alpha, a, lda, b, ldb, c, ldc)
-		return
-	}
-	if transA == NoTrans && transB == Trans {
-		gemmNT(m, n, k, alpha, a, lda, b, ldb, c, ldc)
-		return
-	}
-	gemmTT(m, n, k, alpha, a, lda, b, ldb, c, ldc)
-}
 
-// gemmNN accumulates C += alpha*A*B using cache blocking over k and m and a
-// 1x4 column register tile. This is the kernel on the critical path of every
-// trailing-matrix update, so it gets the most care.
-func gemmNN(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
-	for kk := 0; kk < k; kk += gemmKC {
-		kb := min(gemmKC, k-kk)
-		for ii := 0; ii < m; ii += gemmMC {
-			ib := min(gemmMC, m-ii)
-			// C[ii:ii+ib, :] += alpha * A[ii:ii+ib, kk:kk+kb] * B[kk:kk+kb, :]
-			j := 0
-			for ; j+gemmNR <= n; j += gemmNR {
-				c0 := c[(j+0)*ldc+ii : (j+0)*ldc+ii+ib]
-				c1 := c[(j+1)*ldc+ii : (j+1)*ldc+ii+ib]
-				c2 := c[(j+2)*ldc+ii : (j+2)*ldc+ii+ib]
-				c3 := c[(j+3)*ldc+ii : (j+3)*ldc+ii+ib]
-				for p := 0; p < kb; p++ {
-					acol := a[(kk+p)*lda+ii : (kk+p)*lda+ii+ib]
-					b0 := alpha * b[(j+0)*ldb+kk+p]
-					b1 := alpha * b[(j+1)*ldb+kk+p]
-					b2 := alpha * b[(j+2)*ldb+kk+p]
-					b3 := alpha * b[(j+3)*ldb+kk+p]
-					for i, av := range acol {
-						c0[i] += av * b0
-						c1[i] += av * b1
-						c2[i] += av * b2
-						c3[i] += av * b3
-					}
+	// Shrink the cache blocks to the problem so small multiplies do not pay
+	// for full-sized pack buffers; strips stay MR/NR aligned.
+	mc, kc, nc := gemmMC, gemmKC, gemmNC
+	if mc > m {
+		mc = ceilMul(m, gemmMR)
+	}
+	if kc > k {
+		kc = k
+	}
+	if nc > n {
+		nc = ceilMul(n, gemmNR)
+	}
+
+	ap := scratch.Get(mc * kc)
+	defer scratch.Put(ap)
+	bp := scratch.Get(kc * nc)
+	defer scratch.Put(bp)
+
+	for jc := 0; jc < n; jc += nc {
+		ncb := min(nc, n-jc)
+		for pc := 0; pc < k; pc += kc {
+			kcb := min(kc, k-pc)
+			boff := jc*ldb + pc
+			if transB == Trans {
+				boff = pc*ldb + jc
+			}
+			packB(transB, kcb, ncb, b[boff:], ldb, bp)
+			for ic := 0; ic < m; ic += mc {
+				mcb := min(mc, m-ic)
+				aoff := pc*lda + ic
+				if transA == Trans {
+					aoff = ic*lda + pc
 				}
-			}
-			for ; j < n; j++ {
-				ccol := c[j*ldc+ii : j*ldc+ii+ib]
-				for p := 0; p < kb; p++ {
-					bv := alpha * b[j*ldb+kk+p]
-					if bv == 0 {
-						continue
-					}
-					acol := a[(kk+p)*lda+ii : (kk+p)*lda+ii+ib]
-					for i, av := range acol {
-						ccol[i] += av * bv
-					}
-				}
+				packA(transA, mcb, kcb, alpha, a[aoff:], lda, ap)
+				macroKernel(mcb, ncb, kcb, ap, bp, c[jc*ldc+ic:], ldc)
 			}
 		}
 	}
 }
 
-// gemmTN accumulates C += alpha*A^T*B: C(i,j) = dot(A(:,i), B(:,j)).
-func gemmTN(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+// scaleCols scales the m-high leading rows of n columns of c by beta
+// (beta == 0 overwrites, clearing NaN/Inf).
+func scaleCols(n, m int, beta float64, c []float64, ldc int) {
+	if beta == 1 {
+		return
+	}
 	for j := 0; j < n; j++ {
-		bcol := b[j*ldb : j*ldb+k]
-		ccol := c[j*ldc : j*ldc+m]
-		for i := 0; i < m; i++ {
-			acol := a[i*lda : i*lda+k]
-			sum := 0.0
-			for p, av := range acol {
-				sum += av * bcol[p]
+		col := c[j*ldc : j*ldc+m]
+		if beta == 0 {
+			for i := range col {
+				col[i] = 0
 			}
-			ccol[i] += alpha * sum
-		}
-	}
-}
-
-// gemmNT accumulates C += alpha*A*B^T.
-func gemmNT(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
-	for p := 0; p < k; p++ {
-		acol := a[p*lda : p*lda+m]
-		for j := 0; j < n; j++ {
-			bv := alpha * b[p*ldb+j]
-			if bv == 0 {
-				continue
+		} else {
+			for i := range col {
+				col[i] *= beta
 			}
-			ccol := c[j*ldc : j*ldc+m]
-			for i, av := range acol {
-				ccol[i] += av * bv
-			}
-		}
-	}
-}
-
-// gemmTT accumulates C += alpha*A^T*B^T.
-func gemmTT(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
-	for j := 0; j < n; j++ {
-		ccol := c[j*ldc : j*ldc+m]
-		for i := 0; i < m; i++ {
-			acol := a[i*lda : i*lda+k]
-			sum := 0.0
-			for p, av := range acol {
-				sum += av * b[p*ldb+j]
-			}
-			ccol[i] += alpha * sum
 		}
 	}
 }
 
 // Dtrsm solves op(A)*X = alpha*B (side == Left) or X*op(A) = alpha*B
-// (side == Right) for X, overwriting B. A is triangular.
+// (side == Right) for X, overwriting B. A is triangular. The driver is
+// blocked: NB-wide diagonal triangles solve with the unblocked kernels and
+// every off-diagonal elimination runs through the packed Dgemm.
 func Dtrsm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
 	na := m
 	if side == Right {
@@ -170,109 +159,81 @@ func Dtrsm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha flo
 		return
 	}
 	if alpha != 1 {
-		for j := 0; j < n; j++ {
-			col := b[j*ldb : j*ldb+m]
-			for i := range col {
-				col[i] *= alpha
-			}
-		}
+		scaleCols(n, m, alpha, b, ldb)
 	}
 	if side == Left {
-		// Solve op(A) * X = B column by column.
-		for j := 0; j < n; j++ {
-			Dtrsv(uplo, trans, diag, m, a, lda, b[j*ldb:j*ldb+m], 1)
-		}
+		trsmLeftBlocked(uplo, trans, diag, m, n, a, lda, b, ldb)
 		return
 	}
-	// side == Right: X * op(A) = B. Process columns of X in dependency order.
-	switch {
-	case uplo == Upper && trans == NoTrans:
-		// X(:,j) = (B(:,j) - sum_{k<j} X(:,k) A(k,j)) / A(j,j)
-		for j := 0; j < n; j++ {
-			bj := b[j*ldb : j*ldb+m]
-			for k := 0; k < j; k++ {
-				akj := a[j*lda+k]
-				if akj == 0 {
-					continue
-				}
-				bk := b[k*ldb : k*ldb+m]
-				for i := range bj {
-					bj[i] -= akj * bk[i]
-				}
-			}
-			if diag == NonUnit {
-				inv := 1 / a[j*lda+j]
-				for i := range bj {
-					bj[i] *= inv
-				}
-			}
+	trsmRightBlocked(uplo, trans, diag, m, n, a, lda, b, ldb)
+}
+
+// trsmLeftBlocked solves op(A)*X = B in place for an m x m triangle against
+// an m x n right-hand side, one NB-row block at a time.
+func trsmLeftBlocked(uplo Uplo, trans Transpose, diag Diag, m, n int, a []float64, lda int, b []float64, ldb int) {
+	forward := (uplo == Lower) == (trans == NoTrans)
+	for bi := 0; bi < m; bi += trsmNB {
+		i0 := bi
+		if !forward {
+			// Same NB-aligned block grid, visited last block first.
+			i0 = (m - bi - 1) / trsmNB * trsmNB
 		}
-	case uplo == Lower && trans == NoTrans:
-		for j := n - 1; j >= 0; j-- {
-			bj := b[j*ldb : j*ldb+m]
-			for k := j + 1; k < n; k++ {
-				akj := a[j*lda+k]
-				if akj == 0 {
-					continue
-				}
-				bk := b[k*ldb : k*ldb+m]
-				for i := range bj {
-					bj[i] -= akj * bk[i]
-				}
-			}
-			if diag == NonUnit {
-				inv := 1 / a[j*lda+j]
-				for i := range bj {
-					bj[i] *= inv
-				}
-			}
+		ib := min(trsmNB, m-i0)
+		trsmUnbLeft(uplo, trans, diag, ib, n, a[i0*lda+i0:], lda, b[i0:], ldb)
+		x := b[i0:]
+		rest := m - i0 - ib
+		switch {
+		case uplo == Lower && trans == NoTrans && rest > 0:
+			// B[i0+ib:] -= A[i0+ib:, i0:i0+ib] * X
+			Dgemm(NoTrans, NoTrans, rest, n, ib, -1, a[i0*lda+i0+ib:], lda, x, ldb, 1, b[i0+ib:], ldb)
+		case uplo == Upper && trans == NoTrans && i0 > 0:
+			// B[0:i0] -= A[0:i0, i0:i0+ib] * X
+			Dgemm(NoTrans, NoTrans, i0, n, ib, -1, a[i0*lda:], lda, x, ldb, 1, b, ldb)
+		case uplo == Lower && trans == Trans && i0 > 0:
+			// B[0:i0] -= (A[i0:i0+ib, 0:i0])^T * X
+			Dgemm(Trans, NoTrans, i0, n, ib, -1, a[i0:], lda, x, ldb, 1, b, ldb)
+		case uplo == Upper && trans == Trans && rest > 0:
+			// B[i0+ib:] -= (A[i0:i0+ib, i0+ib:])^T * X
+			Dgemm(Trans, NoTrans, rest, n, ib, -1, a[(i0+ib)*lda+i0:], lda, x, ldb, 1, b[i0+ib:], ldb)
 		}
-	case uplo == Upper && trans == Trans:
-		// X * A^T = B with A upper => effective coefficient A(j,k) for k>j.
-		for j := n - 1; j >= 0; j-- {
-			bj := b[j*ldb : j*ldb+m]
-			for k := j + 1; k < n; k++ {
-				ajk := a[k*lda+j]
-				if ajk == 0 {
-					continue
-				}
-				bk := b[k*ldb : k*ldb+m]
-				for i := range bj {
-					bj[i] -= ajk * bk[i]
-				}
-			}
-			if diag == NonUnit {
-				inv := 1 / a[j*lda+j]
-				for i := range bj {
-					bj[i] *= inv
-				}
-			}
+	}
+}
+
+// trsmRightBlocked solves X*op(A) = B in place for an n x n triangle
+// against an m x n left-hand side, one NB-column block at a time.
+func trsmRightBlocked(uplo Uplo, trans Transpose, diag Diag, m, n int, a []float64, lda int, b []float64, ldb int) {
+	forward := (uplo == Upper) == (trans == NoTrans)
+	for bj := 0; bj < n; bj += trsmNB {
+		j0 := bj
+		if !forward {
+			j0 = (n - bj - 1) / trsmNB * trsmNB
 		}
-	default: // Lower, Trans
-		for j := 0; j < n; j++ {
-			bj := b[j*ldb : j*ldb+m]
-			for k := 0; k < j; k++ {
-				ajk := a[k*lda+j]
-				if ajk == 0 {
-					continue
-				}
-				bk := b[k*ldb : k*ldb+m]
-				for i := range bj {
-					bj[i] -= ajk * bk[i]
-				}
-			}
-			if diag == NonUnit {
-				inv := 1 / a[j*lda+j]
-				for i := range bj {
-					bj[i] *= inv
-				}
-			}
+		jb := min(trsmNB, n-j0)
+		trsmUnbRight(uplo, trans, diag, m, jb, a[j0*lda+j0:], lda, b[j0*ldb:], ldb)
+		x := b[j0*ldb:]
+		rest := n - j0 - jb
+		switch {
+		case uplo == Upper && trans == NoTrans && rest > 0:
+			// B[:, j0+jb:] -= X * A[j0:j0+jb, j0+jb:]
+			Dgemm(NoTrans, NoTrans, m, rest, jb, -1, x, ldb, a[(j0+jb)*lda+j0:], lda, 1, b[(j0+jb)*ldb:], ldb)
+		case uplo == Lower && trans == NoTrans && j0 > 0:
+			// B[:, 0:j0] -= X * A[j0:j0+jb, 0:j0]
+			Dgemm(NoTrans, NoTrans, m, j0, jb, -1, x, ldb, a[j0:], lda, 1, b, ldb)
+		case uplo == Upper && trans == Trans && j0 > 0:
+			// B[:, 0:j0] -= X * (A[0:j0, j0:j0+jb])^T
+			Dgemm(NoTrans, Trans, m, j0, jb, -1, x, ldb, a[j0*lda:], lda, 1, b, ldb)
+		case uplo == Lower && trans == Trans && rest > 0:
+			// B[:, j0+jb:] -= X * (A[j0+jb:, j0:j0+jb])^T
+			Dgemm(NoTrans, Trans, m, rest, jb, -1, x, ldb, a[j0*lda+j0+jb:], lda, 1, b[(j0+jb)*ldb:], ldb)
 		}
 	}
 }
 
 // Dtrmm computes B = alpha*op(A)*B (side == Left) or B = alpha*B*op(A)
-// (side == Right) for triangular A, overwriting B.
+// (side == Right) for triangular A, overwriting B. Like Dtrsm, the driver
+// is blocked: diagonal blocks multiply with the unblocked kernels and the
+// off-diagonal contributions accumulate through the packed Dgemm, ordered
+// so every block reads only not-yet-overwritten parts of B.
 func Dtrmm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
 	na := m
 	if side == Right {
@@ -285,102 +246,70 @@ func Dtrmm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha flo
 		return
 	}
 	if side == Left {
-		for j := 0; j < n; j++ {
-			col := b[j*ldb : j*ldb+m]
-			Dtrmv(uplo, trans, diag, m, a, lda, col, 1)
-			if alpha != 1 {
-				for i := range col {
-					col[i] *= alpha
-				}
-			}
-		}
+		trmmLeftBlocked(uplo, trans, diag, m, n, alpha, a, lda, b, ldb)
 		return
 	}
-	// side == Right: B = alpha * B * op(A).
-	switch {
-	case uplo == Upper && trans == NoTrans:
-		for j := n - 1; j >= 0; j-- {
-			bj := b[j*ldb : j*ldb+m]
-			diagV := 1.0
-			if diag == NonUnit {
-				diagV = a[j*lda+j]
-			}
-			for i := range bj {
-				bj[i] *= alpha * diagV
-			}
-			for k := 0; k < j; k++ {
-				akj := alpha * a[j*lda+k]
-				if akj == 0 {
-					continue
-				}
-				bk := b[k*ldb : k*ldb+m]
-				for i := range bj {
-					bj[i] += akj * bk[i]
-				}
-			}
+	trmmRightBlocked(uplo, trans, diag, m, n, alpha, a, lda, b, ldb)
+}
+
+// trmmLeftBlocked computes B = alpha*op(A)*B in place. A block's result
+// needs op(A)'s off-diagonal band times *original* B rows, so the block
+// order runs toward the band: forward when the band lies below the
+// diagonal block (Upper/NoTrans, Lower/Trans), backward otherwise.
+func trmmLeftBlocked(uplo Uplo, trans Transpose, diag Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	forward := (uplo == Upper) == (trans == NoTrans)
+	for bi := 0; bi < m; bi += trsmNB {
+		i0 := bi
+		if !forward {
+			i0 = (m - bi - 1) / trsmNB * trsmNB
 		}
-	case uplo == Lower && trans == NoTrans:
-		for j := 0; j < n; j++ {
-			bj := b[j*ldb : j*ldb+m]
-			diagV := 1.0
-			if diag == NonUnit {
-				diagV = a[j*lda+j]
-			}
-			for i := range bj {
-				bj[i] *= alpha * diagV
-			}
-			for k := j + 1; k < n; k++ {
-				akj := alpha * a[j*lda+k]
-				if akj == 0 {
-					continue
-				}
-				bk := b[k*ldb : k*ldb+m]
-				for i := range bj {
-					bj[i] += akj * bk[i]
-				}
-			}
+		ib := min(trsmNB, m-i0)
+		// Diagonal contribution first: B_i = alpha*op(A_ii)*B_i leaves the
+		// off-diagonal operand rows untouched.
+		trmmUnbLeft(uplo, trans, diag, ib, n, alpha, a[i0*lda+i0:], lda, b[i0:], ldb)
+		rest := m - i0 - ib
+		switch {
+		case uplo == Upper && trans == NoTrans && rest > 0:
+			// B_i += alpha * A[i0:i0+ib, i0+ib:] * B_old[i0+ib:]
+			Dgemm(NoTrans, NoTrans, ib, n, rest, alpha, a[(i0+ib)*lda+i0:], lda, b[i0+ib:], ldb, 1, b[i0:], ldb)
+		case uplo == Lower && trans == NoTrans && i0 > 0:
+			// B_i += alpha * A[i0:i0+ib, 0:i0] * B_old[0:i0]
+			Dgemm(NoTrans, NoTrans, ib, n, i0, alpha, a[i0:], lda, b, ldb, 1, b[i0:], ldb)
+		case uplo == Upper && trans == Trans && i0 > 0:
+			// B_i += alpha * (A[0:i0, i0:i0+ib])^T * B_old[0:i0]
+			Dgemm(Trans, NoTrans, ib, n, i0, alpha, a[i0*lda:], lda, b, ldb, 1, b[i0:], ldb)
+		case uplo == Lower && trans == Trans && rest > 0:
+			// B_i += alpha * (A[i0+ib:, i0:i0+ib])^T * B_old[i0+ib:]
+			Dgemm(Trans, NoTrans, ib, n, rest, alpha, a[i0*lda+i0+ib:], lda, b[i0+ib:], ldb, 1, b[i0:], ldb)
 		}
-	case uplo == Upper && trans == Trans:
-		for j := 0; j < n; j++ {
-			bj := b[j*ldb : j*ldb+m]
-			diagV := 1.0
-			if diag == NonUnit {
-				diagV = a[j*lda+j]
-			}
-			for i := range bj {
-				bj[i] *= alpha * diagV
-			}
-			for k := j + 1; k < n; k++ {
-				ajk := alpha * a[k*lda+j]
-				if ajk == 0 {
-					continue
-				}
-				bk := b[k*ldb : k*ldb+m]
-				for i := range bj {
-					bj[i] += ajk * bk[i]
-				}
-			}
+	}
+}
+
+// trmmRightBlocked computes B = alpha*B*op(A) in place, column blocks
+// ordered so each reads only original columns of B.
+func trmmRightBlocked(uplo Uplo, trans Transpose, diag Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	forward := (uplo == Lower) == (trans == NoTrans)
+	for bj := 0; bj < n; bj += trsmNB {
+		j0 := bj
+		if !forward {
+			j0 = (n - bj - 1) / trsmNB * trsmNB
 		}
-	default: // Lower, Trans
-		for j := n - 1; j >= 0; j-- {
-			bj := b[j*ldb : j*ldb+m]
-			diagV := 1.0
-			if diag == NonUnit {
-				diagV = a[j*lda+j]
-			}
-			for i := range bj {
-				bj[i] *= alpha * diagV
-			}
-			for k := 0; k < j; k++ {
-				ajk := alpha * a[k*lda+j]
-				if ajk == 0 {
-					continue
-				}
-				bk := b[k*ldb : k*ldb+m]
-				for i := range bj {
-					bj[i] += ajk * bk[i]
-				}
-			}
+		jb := min(trsmNB, n-j0)
+		trmmUnbRight(uplo, trans, diag, m, jb, alpha, a[j0*lda+j0:], lda, b[j0*ldb:], ldb)
+		rest := n - j0 - jb
+		switch {
+		case uplo == Upper && trans == NoTrans && j0 > 0:
+			// B_j += alpha * B_old[:, 0:j0] * A[0:j0, j0:j0+jb]
+			Dgemm(NoTrans, NoTrans, m, jb, j0, alpha, b, ldb, a[j0*lda:], lda, 1, b[j0*ldb:], ldb)
+		case uplo == Lower && trans == NoTrans && rest > 0:
+			// B_j += alpha * B_old[:, j0+jb:] * A[j0+jb:, j0:j0+jb]
+			Dgemm(NoTrans, NoTrans, m, jb, rest, alpha, b[(j0+jb)*ldb:], ldb, a[j0*lda+j0+jb:], lda, 1, b[j0*ldb:], ldb)
+		case uplo == Upper && trans == Trans && rest > 0:
+			// B_j += alpha * B_old[:, j0+jb:] * (A[j0:j0+jb, j0+jb:])^T
+			Dgemm(NoTrans, Trans, m, jb, rest, alpha, b[(j0+jb)*ldb:], ldb, a[(j0+jb)*lda+j0:], lda, 1, b[j0*ldb:], ldb)
+		case uplo == Lower && trans == Trans && j0 > 0:
+			// B_j += alpha * B_old[:, 0:j0] * (A[j0:j0+jb, 0:j0])^T
+			Dgemm(NoTrans, Trans, m, jb, j0, alpha, b, ldb, a[j0:], lda, 1, b[j0*ldb:], ldb)
 		}
 	}
 }
