@@ -1,0 +1,14 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain fails the package if any test leaks a goroutine: every test
+// server owns an engine pool and must drain it.
+func TestMain(m *testing.M) {
+	os.Exit(testutil.LeakCheckMain(m))
+}

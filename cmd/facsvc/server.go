@@ -1,0 +1,202 @@
+package main
+
+// HTTP layer of the factorization service: routing, the typed-error to
+// status-code mapping, and the /metrics endpoint. The handlers are a thin
+// shell over factor.Engine — every robustness decision (admission control,
+// retries, watchdog, coalescing, result cache) lives in the engine, and the
+// handlers only translate its vocabulary into HTTP's.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/factor"
+)
+
+// statusClientClosedRequest is nginx's non-standard 499: the client gave up
+// before the factorization finished. Distinguishing it from 504 keeps the
+// deadline metric honest.
+const statusClientClosedRequest = 499
+
+// server is the facsvc HTTP front end over one factor.Engine.
+type server struct {
+	eng *factor.Engine
+	cfg factor.EngineConfig // for Retry-After; the engine keeps its own copy
+
+	mu       sync.Mutex
+	requests map[string]int64 // "op status" -> count
+	inFlight int64
+}
+
+func newServer(eng *factor.Engine, cfg factor.EngineConfig) *server {
+	return &server{eng: eng, cfg: cfg, requests: make(map[string]int64)}
+}
+
+// handler returns the service's routing table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lu", func(w http.ResponseWriter, r *http.Request) { s.factorize(w, r, "lu") })
+	mux.HandleFunc("POST /v1/qr", func(w http.ResponseWriter, r *http.Request) { s.factorize(w, r, "qr") })
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// retryAfterSeconds derives the Retry-After hint for 429 responses from the
+// engine's backoff configuration: the base retry delay, rounded up to whole
+// seconds (the header's granularity), at least 1.
+func (s *server) retryAfterSeconds() int {
+	d := s.cfg.RetryBackoff
+	if d <= 0 {
+		d = 2 * time.Millisecond
+	}
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// count records one finished request for /metrics.
+func (s *server) count(op string, status int) {
+	s.mu.Lock()
+	s.requests[fmt.Sprintf("%s %d", op, status)]++
+	s.mu.Unlock()
+}
+
+// factorize serves one LU or QR request end to end.
+func (s *server) factorize(w http.ResponseWriter, r *http.Request, op string) {
+	s.mu.Lock()
+	s.inFlight++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.inFlight--
+		s.mu.Unlock()
+	}()
+
+	req, err := decodeRequest(r)
+	if err != nil {
+		s.count(op, http.StatusBadRequest)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	ctx := r.Context()
+	if req.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.timeout)
+		defer cancel()
+	}
+
+	cacheState := "off"
+	switch op {
+	case "lu":
+		var f *factor.LUFactorization
+		var hit bool
+		if req.cache {
+			f, hit, err = s.eng.LUCachedCtx(ctx, req.a, req.opt)
+			cacheState = cacheName(hit)
+		} else {
+			f, err = s.eng.LUCtx(ctx, req.a, req.opt)
+		}
+		if err != nil {
+			s.fail(w, op, err)
+			return
+		}
+		s.count(op, http.StatusOK)
+		writeLUResponse(w, req, f, cacheState)
+	case "qr":
+		var f *factor.QRFactorization
+		var hit bool
+		if req.cache {
+			f, hit, err = s.eng.QRCachedCtx(ctx, req.a, req.opt)
+			cacheState = cacheName(hit)
+		} else {
+			f, err = s.eng.QRCtx(ctx, req.a, req.opt)
+		}
+		if err != nil {
+			s.fail(w, op, err)
+			return
+		}
+		s.count(op, http.StatusOK)
+		writeQRResponse(w, req, f, cacheState)
+	}
+}
+
+func cacheName(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// fail maps an engine error onto its HTTP status. The order matters:
+// deadline/cancellation are checked before the generic buckets because a
+// cancelled request's error chain may wrap several sentinels.
+func (s *server) fail(w http.ResponseWriter, op string, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, factor.ErrOverloaded):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = statusClientClosedRequest
+	case errors.Is(err, factor.ErrShape), errors.Is(err, factor.ErrNonFinite):
+		status = http.StatusBadRequest
+	case errors.Is(err, factor.ErrSingular):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, factor.ErrEngineClosed):
+		status = http.StatusServiceUnavailable
+	}
+	s.count(op, status)
+	http.Error(w, err.Error(), status)
+}
+
+// metrics serves a plain-text snapshot: the engine's self-healing, cache
+// and batching counters plus the HTTP layer's own request accounting, in a
+// Prometheus-compatible exposition format.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "facsvc_engine_retries_total %d\n", st.Retries)
+	fmt.Fprintf(w, "facsvc_engine_shed_total %d\n", st.Shed)
+	fmt.Fprintf(w, "facsvc_engine_stalled_total %d\n", st.Stalled)
+	fmt.Fprintf(w, "facsvc_engine_in_flight %d\n", st.InFlight)
+	fmt.Fprintf(w, "facsvc_engine_cache_hits_total %d\n", st.CacheHits)
+	fmt.Fprintf(w, "facsvc_engine_cache_misses_total %d\n", st.CacheMisses)
+	fmt.Fprintf(w, "facsvc_engine_cache_evictions_total %d\n", st.CacheEvictions)
+	fmt.Fprintf(w, "facsvc_engine_batched_requests_total %d\n", st.BatchedRequests)
+	fmt.Fprintf(w, "facsvc_engine_batch_flushes_total %d\n", st.BatchFlushes)
+	fmt.Fprintf(w, "facsvc_engine_pool_tasks_total %d\n", st.PoolTasks)
+
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.requests))
+	for k := range s.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines := make([]string, len(keys))
+	for i, k := range keys {
+		var op string
+		var status int
+		fmt.Sscanf(k, "%s %d", &op, &status)
+		lines[i] = fmt.Sprintf("facsvc_http_requests_total{op=%q,status=\"%d\"} %d", op, status, s.requests[k])
+	}
+	inFlight := s.inFlight
+	s.mu.Unlock()
+	for _, line := range lines {
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "facsvc_http_in_flight %d\n", inFlight)
+}

@@ -1,0 +1,186 @@
+package factor
+
+// Request coalescing: many small factorizations arriving within a short
+// window are merged (sched.MergeGraphs) into ONE pool submission instead of
+// one apiece — the paper's aggregation of small operations into fewer,
+// larger ones, applied at the service level. A merged batch keeps the
+// workers draining one combined ready set where per-request submissions
+// would leave them idling between tiny graphs.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// batchPrep is one prepared factorization riding a coalesced submission:
+// graph hands over its task graph (consumed by the merge), finish runs the
+// request's post-execution bookkeeping with the combined submission's error.
+type batchPrep interface {
+	graph() *sched.Graph
+	finish(runErr error) error
+}
+
+// batchItem is one enqueued request; done is closed once finish has run and
+// err is set.
+type batchItem struct {
+	prep batchPrep
+	done chan struct{}
+	err  error
+}
+
+// batcher accumulates eligible requests for up to window (or maxReq
+// requests, whichever comes first) and flushes them as one merged pool
+// submission.
+type batcher struct {
+	e      *Engine
+	window time.Duration
+	maxReq int
+
+	mu      sync.Mutex
+	pending []*batchItem
+	timer   *time.Timer
+	closed  bool
+
+	flushes atomic.Int64
+}
+
+func newBatcher(e *Engine, window time.Duration, maxReq int) *batcher {
+	return &batcher{e: e, window: window, maxReq: maxReq}
+}
+
+// do enqueues prep and waits for its batch to run, returning the request's
+// own finish error. Abandoning on ctx cancellation does not cancel the
+// merged submission — batch-mates still complete; a wedged submission is the
+// watchdog's and CloseWithTimeout's job.
+func (b *batcher) do(ctx context.Context, prep batchPrep) error {
+	it := &batchItem{prep: prep, done: make(chan struct{})}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrEngineClosed
+	}
+	b.pending = append(b.pending, it)
+	if len(b.pending) >= b.maxReq {
+		items := b.takeLocked()
+		b.mu.Unlock()
+		go b.flush(items)
+	} else {
+		if len(b.pending) == 1 {
+			b.timer = time.AfterFunc(b.window, b.timedFlush)
+		}
+		b.mu.Unlock()
+	}
+	select {
+	case <-it.done:
+		return it.err
+	case <-ctx.Done():
+		return fmt.Errorf("%w waiting for batch: %w", ErrCancelled, ctx.Err())
+	}
+}
+
+// takeLocked detaches the pending window; callers hold b.mu.
+func (b *batcher) takeLocked() []*batchItem {
+	items := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return items
+}
+
+// timedFlush fires when a window expires with fewer than maxReq requests.
+func (b *batcher) timedFlush() {
+	b.mu.Lock()
+	items := b.takeLocked()
+	b.mu.Unlock()
+	go b.flush(items)
+}
+
+// flush merges the items' graphs into one submission, runs it, and
+// completes every item with its own finish error. It must never leak a
+// blocked waiter: any panic (merge, submit, a finish implementation) is
+// converted into an error on every item still open.
+func (b *batcher) flush(items []*batchItem) {
+	if len(items) == 0 {
+		return
+	}
+	finished := 0
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("factor: batch flush panicked: %v", r)
+			for _, it := range items[finished:] {
+				it.err = err
+				close(it.done)
+			}
+		}
+	}()
+	graphs := make([]*sched.Graph, len(items))
+	for i, it := range items {
+		graphs[i] = it.prep.graph()
+	}
+	merged := sched.MergeGraphs(graphs...)
+	var runErr error
+	sub, err := b.e.pool.Submit(merged, sched.SubmitOptions{})
+	if err != nil {
+		runErr = err
+	} else {
+		_, runErr = sub.Wait()
+	}
+	b.flushes.Add(1)
+	for _, it := range items {
+		it.err = it.prep.finish(runErr)
+		close(it.done)
+		finished++
+	}
+}
+
+// luPrep adapts a prepared CALU request to the batchPrep interface,
+// capturing the finished result for the serving goroutine.
+type luPrep struct {
+	p   *core.PreparedLU
+	res *core.LUResult
+}
+
+func (w *luPrep) graph() *sched.Graph { return w.p.Graph() }
+
+func (w *luPrep) finish(runErr error) error {
+	res, err := w.p.Finish(runErr)
+	w.res = res
+	return err
+}
+
+// qrPrep adapts a prepared CAQR request to the batchPrep interface.
+type qrPrep struct {
+	p   *core.PreparedQR
+	res *core.QRResult
+}
+
+func (w *qrPrep) graph() *sched.Graph { return w.p.Graph() }
+
+func (w *qrPrep) finish(runErr error) error {
+	res, err := w.p.Finish(runErr)
+	w.res = res
+	return err
+}
+
+// close flushes the pending window synchronously and rejects future
+// enqueues. It runs before the pool shuts down, so already-accepted batched
+// requests still complete.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	items := b.takeLocked()
+	b.mu.Unlock()
+	b.flush(items)
+}

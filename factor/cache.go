@@ -1,0 +1,185 @@
+package factor
+
+// Content-addressed result cache: the LUCachedCtx/QRCachedCtx entry points
+// key a factorization by the input's bytes and its numeric options, so a
+// serving front end can answer repeated identical requests without paying
+// another factorization (or even another pool submission). The cache is a
+// bounded LRU with single-flight coalescing: concurrent identical misses
+// factor once and share the result.
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// cacheEntry is one resident result; val holds a *LUFactorization or
+// *QRFactorization shared by every hit (callers must treat it read-only).
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// flight is one in-progress fill that identical concurrent requests join.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// resultCache is the bounded LRU + single-flight store behind the cached
+// entry points.
+type resultCache struct {
+	mu       sync.Mutex
+	cap      int
+	ll       *list.List // front = most recent
+	entries  map[string]*list.Element
+	inflight map[string]*flight
+
+	hits, misses, evictions atomic.Int64
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:      capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// do returns the cached value for key, joining an identical in-flight fill
+// when one exists, and otherwise filling via fn. The boolean reports a hit
+// (including joining a fill — the request did not factor). Failed fills are
+// not cached; every joiner of a failed fill gets the leader's error.
+func (c *resultCache) do(ctx context.Context, key string, fn func() (any, error)) (any, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		v := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return v, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, false, f.err
+			}
+			c.hits.Add(1)
+			return f.val, true, nil
+		case <-ctx.Done():
+			return nil, false, fmt.Errorf("%w waiting for cached result: %w", ErrCancelled, ctx.Err())
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: f.val})
+		for c.ll.Len() > c.cap {
+			tail := c.ll.Back()
+			c.ll.Remove(tail)
+			delete(c.entries, tail.Value.(*cacheEntry).key)
+			c.evictions.Add(1)
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	c.misses.Add(1)
+	return f.val, false, f.err
+}
+
+// cacheKey hashes everything that determines a factorization's bits: the
+// operation, the shape, the numeric options (block size, panel threads,
+// tree shape, structured merges, growth guardrail — scheduling-only knobs
+// like Workers or Lookahead are deliberately excluded), and the matrix
+// contents column by column.
+func cacheKey(op byte, a *Matrix, opt core.Options) string {
+	h := sha256.New()
+	var w [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		h.Write(w[:])
+	}
+	h.Write([]byte{op})
+	put(uint64(a.Rows))
+	put(uint64(a.Cols))
+	put(uint64(opt.BlockSize))
+	put(uint64(opt.PanelThreads))
+	put(uint64(opt.Tree))
+	if opt.StructuredTree {
+		put(1)
+	} else {
+		put(0)
+	}
+	put(math.Float64bits(opt.GrowthThreshold))
+	for j := 0; j < a.Cols; j++ {
+		col := a.Data[j*a.Stride : j*a.Stride+a.Rows]
+		for _, v := range col {
+			put(math.Float64bits(v))
+		}
+	}
+	return string(h.Sum(nil))
+}
+
+// LUCachedCtx is Engine.LUCtx behind the content-addressed result cache: it
+// never modifies a (misses factor a private clone), and on a hit returns
+// the shared cached handle, which the caller must treat as read-only. The
+// boolean reports whether the result came from the cache (or an identical
+// in-flight request). With EngineConfig.CacheEntries zero the call always
+// factors and reports false.
+func (e *Engine) LUCachedCtx(ctx context.Context, a *Matrix, opt Options) (*LUFactorization, bool, error) {
+	if e.cache == nil || a == nil {
+		f, err := e.LUCtx(ctx, cloneForCache(a), opt)
+		return f, false, err
+	}
+	key := cacheKey('L', a, e.engineOptions(opt))
+	v, hit, err := e.cache.do(ctx, key, func() (any, error) {
+		return e.LUCtx(ctx, a.Clone(), opt)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*LUFactorization), hit, nil
+}
+
+// QRCachedCtx is Engine.QRCtx behind the result cache, with the same
+// contract as LUCachedCtx.
+func (e *Engine) QRCachedCtx(ctx context.Context, a *Matrix, opt Options) (*QRFactorization, bool, error) {
+	if e.cache == nil || a == nil {
+		f, err := e.QRCtx(ctx, cloneForCache(a), opt)
+		return f, false, err
+	}
+	key := cacheKey('Q', a, e.engineOptions(opt))
+	v, hit, err := e.cache.do(ctx, key, func() (any, error) {
+		return e.QRCtx(ctx, a.Clone(), opt)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*QRFactorization), hit, nil
+}
+
+// cloneForCache preserves the never-modifies-a contract on the uncached
+// fallback path; nil passes through so shape validation reports it.
+func cloneForCache(a *Matrix) *Matrix {
+	if a == nil {
+		return nil
+	}
+	return a.Clone()
+}

@@ -81,6 +81,26 @@ type EngineConfig struct {
 	// Interceptor, when non-nil, runs before every task on the pool. Used
 	// by chaos tests to inject faults; see internal/fault.
 	Interceptor TaskInterceptor
+	// CacheEntries bounds the content-addressed result cache used by the
+	// LUCachedCtx/QRCachedCtx entry points: up to this many factorizations
+	// are retained in an LRU keyed by the input's bytes and the numeric
+	// options. 0 disables the cache (the cached entry points then always
+	// factor). See doc/SERVICE.md.
+	CacheEntries int
+	// BatchWindow enables request coalescing: eligible factorizations
+	// (m >= n, both dimensions <= BatchMaxDim, no Trace) arriving within
+	// this window are merged into a single pool submission, so many small
+	// requests keep the workers saturated instead of trickling in one tiny
+	// graph at a time. 0 disables coalescing. See doc/SERVICE.md.
+	BatchWindow time.Duration
+	// BatchMaxRequests flushes a coalescing window early once this many
+	// requests are pending. 0 means 16.
+	BatchMaxRequests int
+	// BatchMaxDim bounds coalescing eligibility: only matrices with
+	// Rows <= BatchMaxDim and Cols <= BatchMaxDim ride a batch (large
+	// factorizations saturate the pool on their own and would only delay
+	// the batch). 0 means 256.
+	BatchMaxDim int
 }
 
 // Stats is a snapshot of an engine's self-healing counters.
@@ -94,6 +114,19 @@ type Stats struct {
 	Stalled int64
 	// InFlight is the number of requests currently admitted.
 	InFlight int64
+	// CacheHits counts cached-entry-point requests served without a new
+	// factorization (including requests that joined an in-flight identical
+	// one); CacheMisses counts the ones that factored; CacheEvictions
+	// counts LRU entries dropped to stay within CacheEntries.
+	CacheHits, CacheMisses, CacheEvictions int64
+	// BatchedRequests counts factorization attempts served through a
+	// coalesced submission; BatchFlushes counts the merged submissions
+	// issued for them.
+	BatchedRequests, BatchFlushes int64
+	// PoolTasks is the number of tasks the engine's pool has accounted for
+	// since it started. It is monotonic: a request served entirely from
+	// the cache leaves it unchanged.
+	PoolTasks int64
 }
 
 // Engine is a persistent factorization service: one fixed pool of worker
@@ -117,10 +150,14 @@ type Engine struct {
 	cfg     EngineConfig
 	sem     chan struct{} // admission slots; nil when unlimited
 
+	batch *batcher     // nil when coalescing is off
+	cache *resultCache // nil when the result cache is off
+
 	retries  atomic.Int64
 	shed     atomic.Int64
 	stalls   atomic.Int64
 	inFlight atomic.Int64
+	batched  atomic.Int64
 
 	watchMu  sync.Mutex
 	watched  map[int64]context.CancelCauseFunc
@@ -151,6 +188,14 @@ func NewEngineWithConfig(cfg EngineConfig) *Engine {
 	if cfg.RetryBackoffMax <= 0 {
 		cfg.RetryBackoffMax = 250 * time.Millisecond
 	}
+	if cfg.BatchWindow > 0 {
+		if cfg.BatchMaxRequests <= 0 {
+			cfg.BatchMaxRequests = 16
+		}
+		if cfg.BatchMaxDim <= 0 {
+			cfg.BatchMaxDim = 256
+		}
+	}
 	e := &Engine{
 		pool:    sched.NewPool(cfg.Workers),
 		workers: cfg.Workers,
@@ -159,6 +204,12 @@ func NewEngineWithConfig(cfg EngineConfig) *Engine {
 	}
 	if cfg.MaxInFlight > 0 {
 		e.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	if cfg.CacheEntries > 0 {
+		e.cache = newResultCache(cfg.CacheEntries)
+	}
+	if cfg.BatchWindow > 0 {
+		e.batch = newBatcher(e, cfg.BatchWindow, cfg.BatchMaxRequests)
 	}
 	if cfg.Interceptor != nil {
 		e.pool.SetInterceptor(cfg.Interceptor)
@@ -182,21 +233,37 @@ func NewEngineWithConfig(cfg EngineConfig) *Engine {
 // Workers returns the size of the engine's worker pool.
 func (e *Engine) Workers() int { return e.workers }
 
-// Stats returns a snapshot of the self-healing counters.
+// Stats returns a snapshot of the self-healing, cache and batching
+// counters.
 func (e *Engine) Stats() Stats {
-	return Stats{
-		Retries:  e.retries.Load(),
-		Shed:     e.shed.Load(),
-		Stalled:  e.stalls.Load(),
-		InFlight: e.inFlight.Load(),
+	s := Stats{
+		Retries:         e.retries.Load(),
+		Shed:            e.shed.Load(),
+		Stalled:         e.stalls.Load(),
+		InFlight:        e.inFlight.Load(),
+		BatchedRequests: e.batched.Load(),
+		PoolTasks:       int64(e.pool.CompletedTasks()),
 	}
+	if e.cache != nil {
+		s.CacheHits = e.cache.hits.Load()
+		s.CacheMisses = e.cache.misses.Load()
+		s.CacheEvictions = e.cache.evictions.Load()
+	}
+	if e.batch != nil {
+		s.BatchFlushes = e.batch.flushes.Load()
+	}
+	return s
 }
 
 // Close shuts the engine down: in-flight factorizations complete, the
 // watchdog and the workers exit, and subsequent LU/QR calls fail with
-// ErrEngineClosed. Close is idempotent.
+// ErrEngineClosed. A pending coalescing window is flushed first, so batched
+// requests already accepted still complete. Close is idempotent.
 func (e *Engine) Close() {
 	e.stopWatchdog()
+	if e.batch != nil {
+		e.batch.close()
+	}
 	e.pool.Close()
 }
 
@@ -209,6 +276,9 @@ func (e *Engine) Close() {
 // cancel. Idempotent, like Close.
 func (e *Engine) CloseWithTimeout(d time.Duration) error {
 	e.stopWatchdog()
+	if e.batch != nil {
+		e.batch.close()
+	}
 	return e.pool.CloseWithTimeout(d)
 }
 
@@ -333,11 +403,7 @@ func retryable(err error) bool {
 // backoff sleeps for the attempt's exponential backoff (with jitter),
 // returning early with ctx's error if the caller cancels meanwhile.
 func (e *Engine) backoff(ctx context.Context, attempt int) error {
-	d := e.cfg.RetryBackoff << uint(attempt)
-	if d > e.cfg.RetryBackoffMax || d <= 0 {
-		d = e.cfg.RetryBackoffMax
-	}
-	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	d := backoffDelay(e.cfg.RetryBackoff, e.cfg.RetryBackoffMax, attempt)
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
@@ -348,12 +414,36 @@ func (e *Engine) backoff(ctx context.Context, attempt int) error {
 	}
 }
 
+// backoffDelay computes one retry's sleep: exponential in the attempt with
+// up to 50% random jitter, clamped to max AFTER the jitter is added —
+// RetryBackoffMax is a promise to the caller (a serving front end derives
+// Retry-After from it), so no retry may ever sleep past it.
+func backoffDelay(base, max time.Duration, attempt int) time.Duration {
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	if d > max {
+		d = max
+	}
+	return d
+}
+
 // serve runs one factorization request through the self-healing path:
 // admission control, per-attempt watchdog registration, snapshot/restore
 // of the in-place input across retries, and stall classification. run
 // performs one attempt under the context it is given; a is the in-place
 // input to snapshot (nil skips snapshotting).
 func (e *Engine) serve(ctx context.Context, a *Matrix, run func(context.Context) error) error {
+	// The caller's context is checked before admission: a request that was
+	// already cancelled must report its own cancellation, not consume an
+	// admission decision — returning ErrOverloaded (and bumping the Shed
+	// counter) for a request the caller abandoned would tell a retrying
+	// client to back off for capacity the engine never lacked.
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w before admission: %w", ErrCancelled, err)
+	}
 	if err := e.admit(); err != nil {
 		return err
 	}
@@ -448,6 +538,9 @@ func (e *Engine) QR(a *Matrix, opt Options) (*QRFactorization, error) {
 // so its contents are unspecified after a cancelled call (a retrying
 // engine restores it between attempts, but not after the final failure).
 func (e *Engine) LUCtx(ctx context.Context, a *Matrix, opt Options) (*LUFactorization, error) {
+	if e.batchEligible(a, opt) {
+		return e.luBatched(ctx, a, opt)
+	}
 	var res *core.LUResult
 	err := e.serve(ctx, a, func(actx context.Context) error {
 		var rerr error
@@ -460,14 +553,84 @@ func (e *Engine) LUCtx(ctx context.Context, a *Matrix, opt Options) (*LUFactoriz
 	return &LUFactorization{res: res, workers: e.workers}, nil
 }
 
+// batchEligible reports whether a request rides the coalescing path: the
+// batcher is on, the matrix is small enough that sharing a submission
+// helps, tall-or-square (the wide case post-processes sequentially), and
+// untraced (a merged submission's trace cannot be attributed per request).
+func (e *Engine) batchEligible(a *Matrix, opt Options) bool {
+	return e.batch != nil && a != nil &&
+		a.Rows > 0 && a.Cols > 0 && a.Rows >= a.Cols &&
+		a.Rows <= e.cfg.BatchMaxDim && a.Cols <= e.cfg.BatchMaxDim &&
+		!opt.Trace
+}
+
 // QRCtx is Engine.QR bound to a context, with the same cancellation
 // semantics as Engine.LUCtx.
 func (e *Engine) QRCtx(ctx context.Context, a *Matrix, opt Options) (*QRFactorization, error) {
+	if e.batchEligible(a, opt) {
+		return e.qrBatched(ctx, a, opt)
+	}
 	var res *core.QRResult
 	err := e.serve(ctx, a, func(actx context.Context) error {
 		var rerr error
 		res, rerr = core.CAQRWithPoolCtx(actx, a, e.engineOptions(opt), e.pool)
 		return rerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &QRFactorization{res: res, workers: e.workers}, nil
+}
+
+// luBatched serves one LU request through the coalescing path: each attempt
+// prepares a fresh clone of a (a merged graph is consumed by its run, so a
+// retry can never reuse it), rides a shared submission, and copies the
+// factors back into a only on success — so the caller's matrix is intact
+// after any failure, and serve needs no snapshot (nil).
+func (e *Engine) luBatched(ctx context.Context, a *Matrix, opt Options) (*LUFactorization, error) {
+	var res *core.LUResult
+	err := e.serve(ctx, nil, func(actx context.Context) error {
+		clone := a.Clone()
+		prep, err := core.PrepareCALU(clone, e.engineOptions(opt))
+		if err != nil {
+			return err
+		}
+		e.batched.Add(1)
+		w := &luPrep{p: prep}
+		if err := e.batch.do(actx, w); err != nil {
+			return err
+		}
+		a.CopyFrom(clone)
+		res = w.res
+		res.A = a
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LUFactorization{res: res, workers: e.workers}, nil
+}
+
+// qrBatched is the QR analogue of luBatched. The result's Panels keep
+// viewing the factored clone (content-identical to a after the copy-back);
+// A points at the caller's matrix.
+func (e *Engine) qrBatched(ctx context.Context, a *Matrix, opt Options) (*QRFactorization, error) {
+	var res *core.QRResult
+	err := e.serve(ctx, nil, func(actx context.Context) error {
+		clone := a.Clone()
+		prep, err := core.PrepareCAQR(clone, e.engineOptions(opt))
+		if err != nil {
+			return err
+		}
+		e.batched.Add(1)
+		w := &qrPrep{p: prep}
+		if err := e.batch.do(actx, w); err != nil {
+			return err
+		}
+		a.CopyFrom(clone)
+		res = w.res
+		res.A = a
+		return nil
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,5 @@
+package factor
+
+// Internals exported to the package's own tests.
+
+var BackoffDelay = backoffDelay

@@ -1,0 +1,414 @@
+package factor
+
+// Tests for the serving-oriented engine features: the backoff clamp and
+// admission-ordering bugfixes, request coalescing, and the content-addressed
+// result cache.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayNeverExceedsMax is the regression test for the jitter
+// clamp bug: jitter used to be added after clamping to RetryBackoffMax, so
+// late retries could sleep up to 1.5x the configured cap. Every delay, at
+// every attempt, must stay within [0, max].
+func TestBackoffDelayNeverExceedsMax(t *testing.T) {
+	const (
+		base = 2 * time.Millisecond
+		max  = 50 * time.Millisecond
+	)
+	for attempt := 0; attempt < 40; attempt++ {
+		for trial := 0; trial < 200; trial++ {
+			d := BackoffDelay(base, max, attempt)
+			if d <= 0 || d > max {
+				t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, max)
+			}
+		}
+	}
+	// The shift overflow path (attempt large enough that base<<attempt
+	// wraps negative) must also land on the clamped max, not a garbage
+	// duration.
+	for trial := 0; trial < 200; trial++ {
+		if d := BackoffDelay(base, max, 200); d <= 0 || d > max {
+			t.Fatalf("overflowed attempt: delay %v outside (0, %v]", d, max)
+		}
+	}
+}
+
+// TestServeChecksContextBeforeAdmission is the regression test for the
+// admission-ordering bug: a request arriving with an already-cancelled
+// context used to consume an admission decision first, so on a saturated
+// engine it was misreported as ErrOverloaded (and counted as shed),
+// telling a retrying client to back off for capacity the engine never
+// lacked. The cancelled request must report its own cancellation and leave
+// the Shed counter alone; a live request on the same saturated engine must
+// still shed.
+func TestServeChecksContextBeforeAdmission(t *testing.T) {
+	gate := make(chan struct{})
+	eng := NewEngineWithConfig(EngineConfig{
+		Workers: 2, MaxInFlight: 1,
+		Interceptor: func(info TaskInfo) error {
+			<-gate
+			return nil
+		},
+	})
+	defer eng.Close()
+
+	// Saturate the single slot with a request blocked inside the pool.
+	first := make(chan error, 1)
+	go func() {
+		_, err := eng.LU(Random(16, 16, 1), Options{BlockSize: 4})
+		first <- err
+	}()
+	for i := 0; eng.Stats().InFlight == 0; i++ {
+		if i > 2000 {
+			close(gate)
+			t.Fatal("first request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A pre-cancelled request must report cancellation, not overload.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := eng.LUCtx(cancelled, Random(16, 16, 2), Options{BlockSize: 4})
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, ErrCancelled) {
+		close(gate)
+		t.Fatalf("pre-cancelled request on saturated engine: err = %v, want context.Canceled via ErrCancelled", err)
+	}
+	if errors.Is(err, ErrOverloaded) {
+		close(gate)
+		t.Fatalf("pre-cancelled request misclassified as overload: %v", err)
+	}
+	if shed := eng.Stats().Shed; shed != 0 {
+		close(gate)
+		t.Fatalf("pre-cancelled request bumped Shed to %d", shed)
+	}
+
+	// A live request must still be shed by admission control.
+	_, err = eng.LUCtx(context.Background(), Random(16, 16, 3), Options{BlockSize: 4})
+	if !errors.Is(err, ErrOverloaded) {
+		close(gate)
+		t.Fatalf("live request on saturated engine: err = %v, want ErrOverloaded", err)
+	}
+	if shed := eng.Stats().Shed; shed != 1 {
+		close(gate)
+		t.Fatalf("Shed = %d after one shed request, want 1", shed)
+	}
+
+	close(gate)
+	if err := <-first; err != nil {
+		t.Fatalf("blocked request failed after release: %v", err)
+	}
+}
+
+// TestBatchedMatchesUnbatched checks the coalescing path end to end: a
+// burst of eligible requests on a batching engine produces factors
+// bit-identical to an unbatched engine's, rides fewer submissions than
+// requests, and leaves the callers' matrices holding the factors.
+func TestBatchedMatchesUnbatched(t *testing.T) {
+	opt := Options{BlockSize: 8}
+	const n = 6
+	inputs := make([]*Matrix, n)
+	for i := range inputs {
+		inputs[i] = Random(48, 24+(i%2)*8, int64(i+1))
+	}
+
+	plain := NewEngine(2)
+	want := make([]*Matrix, n)
+	wantPerm := make([][]int, n)
+	for i, in := range inputs {
+		a := in.Clone()
+		f, err := plain.LU(a, opt)
+		if err != nil {
+			t.Fatalf("unbatched LU %d: %v", i, err)
+		}
+		want[i] = a
+		wantPerm[i] = f.PermutationVector()
+	}
+	plain.Close()
+
+	eng := NewEngineWithConfig(EngineConfig{
+		Workers:     2,
+		BatchWindow: 20 * time.Millisecond,
+	})
+	defer eng.Close()
+	got := make([]*Matrix, n)
+	perms := make([][]int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range inputs {
+		i := i
+		got[i] = inputs[i].Clone()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, err := eng.LU(got[i], opt)
+			errs[i] = err
+			if err == nil {
+				perms[i] = f.PermutationVector()
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range inputs {
+		if errs[i] != nil {
+			t.Fatalf("batched LU %d: %v", i, errs[i])
+		}
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("batched LU %d factors differ from unbatched", i)
+		}
+		for k := range perms[i] {
+			if perms[i][k] != wantPerm[i][k] {
+				t.Fatalf("batched LU %d permutation differs at %d", i, k)
+			}
+		}
+	}
+
+	s := eng.Stats()
+	if s.BatchedRequests != n {
+		t.Fatalf("BatchedRequests = %d, want %d", s.BatchedRequests, n)
+	}
+	if s.BatchFlushes < 1 || s.BatchFlushes > n {
+		t.Fatalf("BatchFlushes = %d, want within [1, %d]", s.BatchFlushes, n)
+	}
+}
+
+// TestBatchedQRMatchesUnbatched covers the QR side of coalescing.
+func TestBatchedQRMatchesUnbatched(t *testing.T) {
+	opt := Options{BlockSize: 8}
+	in := Random(40, 24, 9)
+
+	plain := NewEngine(2)
+	want := in.Clone()
+	if _, err := plain.QR(want, opt); err != nil {
+		t.Fatalf("unbatched QR: %v", err)
+	}
+	plain.Close()
+
+	eng := NewEngineWithConfig(EngineConfig{Workers: 2, BatchWindow: 5 * time.Millisecond})
+	defer eng.Close()
+	got := in.Clone()
+	f, err := eng.QR(got, opt)
+	if err != nil {
+		t.Fatalf("batched QR: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("batched QR factors differ from unbatched")
+	}
+	if r := f.R(); r == nil {
+		t.Fatal("batched QR handle has no R")
+	}
+	if eng.Stats().BatchedRequests != 1 {
+		t.Fatalf("BatchedRequests = %d, want 1", eng.Stats().BatchedRequests)
+	}
+}
+
+// TestBatchIneligibleBypasses checks the routing guards: wide and oversize
+// matrices, and traced requests, skip the batcher entirely.
+func TestBatchIneligibleBypasses(t *testing.T) {
+	eng := NewEngineWithConfig(EngineConfig{
+		Workers: 2, BatchWindow: time.Millisecond, BatchMaxDim: 32,
+	})
+	defer eng.Close()
+
+	wide := Random(8, 16, 1)
+	if _, err := eng.LU(wide, Options{BlockSize: 4}); err != nil {
+		t.Fatalf("wide LU on batching engine: %v", err)
+	}
+	big := Random(64, 48, 2)
+	if _, err := eng.LU(big, Options{BlockSize: 8}); err != nil {
+		t.Fatalf("oversize LU on batching engine: %v", err)
+	}
+	traced := Random(24, 24, 3)
+	f, err := eng.LU(traced, Options{BlockSize: 8, Trace: true})
+	if err != nil {
+		t.Fatalf("traced LU on batching engine: %v", err)
+	}
+	if len(f.Events()) == 0 {
+		t.Fatal("traced request lost its events (was it batched?)")
+	}
+	if s := eng.Stats(); s.BatchedRequests != 0 {
+		t.Fatalf("BatchedRequests = %d for ineligible requests, want 0", s.BatchedRequests)
+	}
+}
+
+// TestBatchFailureIsolated checks per-request isolation on the coalesced
+// path: a singular batch member fails with ErrSingular while its
+// batch-mate succeeds, and the caller's matrix is untouched by its own
+// failed request.
+func TestBatchFailureIsolated(t *testing.T) {
+	eng := NewEngineWithConfig(EngineConfig{Workers: 2, BatchWindow: 20 * time.Millisecond})
+	defer eng.Close()
+
+	sing := NewMatrix(16, 16) // all zeros
+	singOrig := sing.Clone()
+	good := Random(16, 16, 4)
+
+	var wg sync.WaitGroup
+	var singErr, goodErr error
+	wg.Add(2)
+	go func() { defer wg.Done(); _, singErr = eng.LU(sing, Options{BlockSize: 4}) }()
+	go func() { defer wg.Done(); _, goodErr = eng.LU(good, Options{BlockSize: 4}) }()
+	wg.Wait()
+
+	if !errors.Is(singErr, ErrSingular) {
+		t.Fatalf("singular member: err = %v, want ErrSingular", singErr)
+	}
+	if goodErr != nil {
+		t.Fatalf("good member failed alongside singular one: %v", goodErr)
+	}
+	if !sing.Equal(singOrig) {
+		t.Fatal("failed batched request modified the caller's matrix")
+	}
+}
+
+// TestBatchDrainOnClose checks Close flushes a pending window: a request
+// sitting in an unexpired window when Close is called still completes.
+func TestBatchDrainOnClose(t *testing.T) {
+	eng := NewEngineWithConfig(EngineConfig{Workers: 2, BatchWindow: time.Hour})
+	a := Random(20, 20, 5)
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.LU(a, Options{BlockSize: 5})
+		done <- err
+	}()
+	// Wait for the request to be sitting in the window.
+	for i := 0; eng.Stats().BatchedRequests == 0; i++ {
+		if i > 2000 {
+			t.Fatal("request never reached the batcher")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	eng.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("batched request failed across Close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("batched request never completed after Close")
+	}
+}
+
+// TestCacheHitSkipsFactorization checks the content-addressed cache:
+// repeated identical requests are served from the cache (hit counter moves,
+// pool task counter does not), different inputs or options miss, and the
+// input matrix is never modified.
+func TestCacheHitSkipsFactorization(t *testing.T) {
+	eng := NewEngineWithConfig(EngineConfig{Workers: 2, CacheEntries: 8})
+	defer eng.Close()
+	opt := Options{BlockSize: 8}
+	a := Random(32, 32, 6)
+	orig := a.Clone()
+
+	f1, hit, err := eng.LUCachedCtx(context.Background(), a, opt)
+	if err != nil {
+		t.Fatalf("first cached LU: %v", err)
+	}
+	if hit {
+		t.Fatal("first request reported a cache hit")
+	}
+	if !a.Equal(orig) {
+		t.Fatal("cached entry point modified the input on a miss")
+	}
+	tasksAfterMiss := eng.Stats().PoolTasks
+
+	f2, hit, err := eng.LUCachedCtx(context.Background(), a, opt)
+	if err != nil {
+		t.Fatalf("second cached LU: %v", err)
+	}
+	if !hit {
+		t.Fatal("identical repeat request missed the cache")
+	}
+	if f2 != f1 {
+		t.Fatal("cache hit returned a different handle")
+	}
+	if got := eng.Stats().PoolTasks; got != tasksAfterMiss {
+		t.Fatalf("cache hit ran %d new pool tasks", got-tasksAfterMiss)
+	}
+	if !a.Equal(orig) {
+		t.Fatal("cached entry point modified the input on a hit")
+	}
+
+	// A different matrix, and the same matrix under different numeric
+	// options, must both miss.
+	b := Random(32, 32, 7)
+	if _, hit, err = eng.LUCachedCtx(context.Background(), b, opt); err != nil || hit {
+		t.Fatalf("different matrix: hit=%v err=%v, want miss", hit, err)
+	}
+	if _, hit, err = eng.LUCachedCtx(context.Background(), a, Options{BlockSize: 16}); err != nil || hit {
+		t.Fatalf("different options: hit=%v err=%v, want miss", hit, err)
+	}
+	// QR of the same bytes is a distinct key.
+	if _, hit, err = eng.QRCachedCtx(context.Background(), a, opt); err != nil || hit {
+		t.Fatalf("QR of LU-cached bytes: hit=%v err=%v, want miss", hit, err)
+	}
+
+	s := eng.Stats()
+	if s.CacheHits != 1 || s.CacheMisses != 4 {
+		t.Fatalf("cache counters hits=%d misses=%d, want 1/4", s.CacheHits, s.CacheMisses)
+	}
+}
+
+// TestCacheEviction checks the LRU bound: filling past CacheEntries evicts
+// the oldest entry, which then misses again.
+func TestCacheEviction(t *testing.T) {
+	eng := NewEngineWithConfig(EngineConfig{Workers: 2, CacheEntries: 2})
+	defer eng.Close()
+	opt := Options{BlockSize: 8}
+	mats := []*Matrix{Random(16, 16, 1), Random(16, 16, 2), Random(16, 16, 3)}
+	for i, m := range mats {
+		if _, hit, err := eng.LUCachedCtx(context.Background(), m, opt); err != nil || hit {
+			t.Fatalf("fill %d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	if ev := eng.Stats().CacheEvictions; ev != 1 {
+		t.Fatalf("CacheEvictions = %d after overfilling by one, want 1", ev)
+	}
+	// The first entry was evicted: it misses; the last still hits.
+	if _, hit, err := eng.LUCachedCtx(context.Background(), mats[0], opt); err != nil || hit {
+		t.Fatalf("evicted entry: hit=%v err=%v, want miss", hit, err)
+	}
+	if _, hit, err := eng.LUCachedCtx(context.Background(), mats[2], opt); err != nil || !hit {
+		t.Fatalf("resident entry: hit=%v err=%v, want hit", hit, err)
+	}
+}
+
+// TestCacheFailuresNotCached checks a failed factorization is not stored:
+// the same singular input fails again (and counts as a miss both times).
+func TestCacheFailuresNotCached(t *testing.T) {
+	eng := NewEngineWithConfig(EngineConfig{Workers: 2, CacheEntries: 4})
+	defer eng.Close()
+	sing := NewMatrix(12, 12)
+	for i := 0; i < 2; i++ {
+		if _, hit, err := eng.LUCachedCtx(context.Background(), sing, Options{BlockSize: 4}); !errors.Is(err, ErrSingular) || hit {
+			t.Fatalf("attempt %d: hit=%v err=%v, want miss with ErrSingular", i, hit, err)
+		}
+	}
+	if s := eng.Stats(); s.CacheHits != 0 {
+		t.Fatalf("failed requests produced %d cache hits", s.CacheHits)
+	}
+}
+
+// TestCacheDisabledFallback checks the cached entry points still work (and
+// still never modify the input) on an engine with no cache configured.
+func TestCacheDisabledFallback(t *testing.T) {
+	eng := NewEngine(2)
+	defer eng.Close()
+	a := Random(16, 16, 8)
+	orig := a.Clone()
+	for i := 0; i < 2; i++ {
+		f, hit, err := eng.LUCachedCtx(context.Background(), a, Options{BlockSize: 4})
+		if err != nil || hit || f == nil {
+			t.Fatalf("uncached engine attempt %d: f=%v hit=%v err=%v", i, f != nil, hit, err)
+		}
+	}
+	if !a.Equal(orig) {
+		t.Fatal("uncached fallback modified the input")
+	}
+}

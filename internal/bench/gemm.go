@@ -26,6 +26,10 @@ type GemmCase struct {
 	M    int    `json:"m"`
 	N    int    `json:"n"`
 	K    int    `json:"k"`
+	// TransA marks cases run as Aᵀ·B ("T"); empty means no transpose. The
+	// Larfb-shaped cases exercise the transposed pack path the QR
+	// block-reflector applications hit.
+	TransA string `json:"trans_a,omitempty"`
 	// PackedGFlops is the packed-kernel rate, BaselineGFlops the frozen
 	// reference kernel's rate, both measured in this run.
 	PackedGFlops   float64 `json:"packed_gflops"`
@@ -64,35 +68,46 @@ type GemmReport struct {
 	EngineReuse EngineReuseResult `json:"engine_reuse"`
 }
 
-// gemmShapes are the trajectory points: the square sweep the issue names
-// plus the panel shapes CALU/CAQR trailing updates issue (tall A against a
-// narrow panel, and a rank-b trailing update).
+// gemmShapes are the trajectory points: the square sweep the issue names,
+// the panel shapes CALU/CAQR trailing updates issue (tall A against a
+// narrow panel, and a rank-b trailing update), and the Larfb block-reflector
+// shapes (W = Vᵀ·C against a tall-skinny V, the C -= V·W rank-b apply, and
+// the small T-sized triangle product) the QR update path spends its time in.
 var gemmShapes = []struct {
 	name    string
+	ta      blas.Transpose
 	m, n, k int
 }{
-	{"square-128", 128, 128, 128},
-	{"square-256", 256, 256, 256},
-	{"square-512", 512, 512, 512},
-	{"square-1024", 1024, 1024, 1024},
-	{"panel-tall-update", 1024, 128, 128},
-	{"panel-wide-update", 128, 1024, 128},
-	{"trailing-rank100", 900, 900, 100},
+	{"square-128", blas.NoTrans, 128, 128, 128},
+	{"square-256", blas.NoTrans, 256, 256, 256},
+	{"square-512", blas.NoTrans, 512, 512, 512},
+	{"square-1024", blas.NoTrans, 1024, 1024, 1024},
+	{"panel-tall-update", blas.NoTrans, 1024, 128, 128},
+	{"panel-wide-update", blas.NoTrans, 128, 1024, 128},
+	{"trailing-rank100", blas.NoTrans, 900, 900, 100},
+	{"larfb-vtc", blas.Trans, 64, 256, 1984},
+	{"larfb-cvw", blas.NoTrans, 1984, 256, 64},
+	{"larfb-small-t", blas.NoTrans, 64, 256, 64},
 }
 
-// timeGemm measures one gemm implementation at m x n x k, repeating until
-// the sample exceeds minSample so short cases aren't timer-noise.
-func timeGemm(m, n, k int, minSample time.Duration,
-	run func(m, n, k int, a, b, c []float64)) float64 {
+// timeGemm measures one gemm implementation at m x n x k (with op(A) = Aᵀ
+// when ta is Trans, so A is stored k x m), repeating until the sample
+// exceeds minSample so short cases aren't timer-noise.
+func timeGemm(ta blas.Transpose, m, n, k int, minSample time.Duration,
+	run func(ta blas.Transpose, m, n, k, lda int, a, b, c []float64)) float64 {
+	lda := m
+	if ta == blas.Trans {
+		lda = k
+	}
 	a := fillSeq(m * k)
 	b := fillSeq(k * n)
 	c := make([]float64, m*n)
 	// Warm once (pools, page faults).
-	run(m, n, k, a, b, c)
+	run(ta, m, n, k, lda, a, b, c)
 	reps := 0
 	start := time.Now()
 	for {
-		run(m, n, k, a, b, c)
+		run(ta, m, n, k, lda, a, b, c)
 		reps++
 		if el := time.Since(start); el >= minSample && reps >= 2 {
 			return gflops(2*float64(m)*float64(n)*float64(k)*float64(reps), el.Seconds())
@@ -124,15 +139,18 @@ func RunGemmReport(cfg Config, minSample time.Duration) *GemmReport {
 	}
 	for _, s := range gemmShapes {
 		progress(cfg, "gemm %s: packed...", s.name)
-		packed := timeGemm(s.m, s.n, s.k, minSample, func(m, n, k int, a, b, c []float64) {
-			blas.Dgemm(blas.NoTrans, blas.NoTrans, m, n, k, 1, a, m, b, k, 0, c, m)
+		packed := timeGemm(s.ta, s.m, s.n, s.k, minSample, func(ta blas.Transpose, m, n, k, lda int, a, b, c []float64) {
+			blas.Dgemm(ta, blas.NoTrans, m, n, k, 1, a, lda, b, k, 0, c, m)
 		})
 		progress(cfg, "gemm %s: baseline...", s.name)
-		base := timeGemm(s.m, s.n, s.k, minSample, func(m, n, k int, a, b, c []float64) {
-			baseline.RefGemm(blas.NoTrans, blas.NoTrans, m, n, k, 1, a, m, b, k, 0, c, m)
+		base := timeGemm(s.ta, s.m, s.n, s.k, minSample, func(ta blas.Transpose, m, n, k, lda int, a, b, c []float64) {
+			baseline.RefGemm(ta, blas.NoTrans, m, n, k, 1, a, lda, b, k, 0, c, m)
 		})
 		gc := GemmCase{Name: s.name, M: s.m, N: s.n, K: s.k,
 			PackedGFlops: packed, BaselineGFlops: base}
+		if s.ta == blas.Trans {
+			gc.TransA = "T"
+		}
 		if base > 0 {
 			gc.Speedup = packed / base
 		}

@@ -137,6 +137,40 @@ func (g *Graph) Tasks() []*Task { return g.tasks }
 // Task returns the task with the given ID.
 func (g *Graph) Task(id int) *Task { return g.tasks[id] }
 
+// MergeGraphs combines independently built graphs into one
+// submission-ready graph, so many small factorizations can ride a single
+// Pool submission instead of one apiece — the service-level analogue of the
+// paper's aggregation of small operations into fewer, larger ones. Workers
+// drain one merged ready set, so a batch keeps them saturated where
+// per-request submissions would leave them idling between tiny graphs.
+//
+// The parts stay fully independent inside the merged graph: no edges are
+// added between them, so their tasks interleave freely under the scheduler.
+// MergeGraphs takes ownership of the parts — their tasks are renumbered
+// into the combined ID space and each input Graph is emptied. Per-part
+// priorities are preserved unchanged, which keeps every part's internal
+// look-ahead ordering intact while leaving cross-part ordering to the
+// ready-set race.
+func MergeGraphs(parts ...*Graph) *Graph {
+	out := NewGraph()
+	for _, g := range parts {
+		if g == nil {
+			continue
+		}
+		off := len(out.tasks)
+		for _, t := range g.tasks {
+			t.ID += off
+			for i := range t.succs {
+				t.succs[i] += off
+			}
+			out.tasks = append(out.tasks, t)
+		}
+		out.edges += g.edges
+		g.tasks, g.edges = nil, 0
+	}
+	return out
+}
+
 // Validate checks the graph is acyclic and every dependency count matches
 // the edge lists, returning an error describing the first problem found.
 func (g *Graph) Validate() error {

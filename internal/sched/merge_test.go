@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// mergeChain builds a linear chain of n tasks that append their position to
+// out, so execution order within the chain is checkable.
+func mergeChain(id int, n int, out *[]int, counter *atomic.Int64) *Graph {
+	g := NewGraph()
+	var prev *Task
+	for i := 0; i < n; i++ {
+		i := i
+		t := g.Add(&Task{
+			Label: fmt.Sprintf("g%d-t%d", id, i),
+			Run: func() {
+				*out = append(*out, i)
+				counter.Add(1)
+			},
+		})
+		if prev != nil {
+			g.AddDep(prev, t)
+		}
+		prev = t
+	}
+	return g
+}
+
+func TestMergeGraphsRenumbersAndValidates(t *testing.T) {
+	var c atomic.Int64
+	var o1, o2, o3 []int
+	g1 := mergeChain(1, 3, &o1, &c)
+	g2 := mergeChain(2, 4, &o2, &c)
+	g3 := mergeChain(3, 1, &o3, &c)
+	merged := MergeGraphs(g1, nil, g2, g3)
+	if merged.Len() != 8 {
+		t.Fatalf("merged Len = %d, want 8", merged.Len())
+	}
+	if merged.Edges() != 2+3 {
+		t.Fatalf("merged Edges = %d, want 5", merged.Edges())
+	}
+	for i, task := range merged.Tasks() {
+		if task.ID != i {
+			t.Fatalf("task %d has ID %d after merge", i, task.ID)
+		}
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("merged graph invalid: %v", err)
+	}
+	// Ownership transferred: the parts are emptied.
+	if g1.Len() != 0 || g2.Len() != 0 || g3.Len() != 0 {
+		t.Fatalf("parts not emptied: %d %d %d", g1.Len(), g2.Len(), g3.Len())
+	}
+}
+
+func TestMergeGraphsExecutesAllParts(t *testing.T) {
+	pool := NewPool(3)
+	defer pool.Close()
+	var c atomic.Int64
+	var o1, o2 []int
+	merged := MergeGraphs(mergeChain(1, 5, &o1, &c), mergeChain(2, 7, &o2, &c))
+	sub, err := pool.Submit(merged, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Wait(); err != nil {
+		t.Fatalf("merged submission failed: %v", err)
+	}
+	if c.Load() != 12 {
+		t.Fatalf("ran %d tasks, want 12", c.Load())
+	}
+	// Each chain must still run in its own dependency order.
+	for which, o := range [][]int{o1, o2} {
+		for i, v := range o {
+			if v != i {
+				t.Fatalf("chain %d ran out of order: %v", which+1, o)
+			}
+		}
+	}
+}
+
+// TestMergeGraphsFailureScope documents the batching trade-off: a panicking
+// task fails the whole merged submission (it is one submission), but the
+// pool survives and per-part numeric state written before the failure is
+// intact.
+func TestMergeGraphsFailureScope(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	g1 := NewGraph()
+	g1.Add(&Task{Label: "boom", Run: func() { panic(errors.New("injected")) }})
+	var c atomic.Int64
+	var o []int
+	merged := MergeGraphs(g1, mergeChain(2, 3, &o, &c))
+	sub, err := pool.Submit(merged, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Wait(); err == nil {
+		t.Fatal("merged submission with panicking part reported success")
+	}
+	// The pool stays usable for the next submission.
+	var c2 atomic.Int64
+	var o2 []int
+	sub2, err := pool.Submit(mergeChain(3, 2, &o2, &c2), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub2.Wait(); err != nil {
+		t.Fatalf("pool unusable after merged failure: %v", err)
+	}
+	if c2.Load() != 2 {
+		t.Fatalf("follow-up ran %d tasks, want 2", c2.Load())
+	}
+}

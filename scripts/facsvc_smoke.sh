@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for cmd/facsvc: start the server, factor over both
+# payload encodings, check /metrics reconciles, then verify graceful
+# SIGTERM drain. CI runs this after unit tests; it needs only bash, curl
+# and the go toolchain.
+set -euo pipefail
+
+ADDR="127.0.0.1:${FACSVC_PORT:-18431}"
+BASE="http://$ADDR"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"; kill "$SRV_PID" 2>/dev/null || true' EXIT
+
+echo "== build =="
+go build -o "$WORKDIR/facsvc" ./cmd/facsvc
+
+echo "== start =="
+"$WORKDIR/facsvc" -addr "$ADDR" -cache-entries 16 -batch-window 500us \
+    2>"$WORKDIR/server.log" &
+SRV_PID=$!
+for i in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then
+        echo "server died during startup:"; cat "$WORKDIR/server.log"; exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+echo "== JSON LU =="
+cat >"$WORKDIR/req.json" <<'EOF'
+{"rows":4,"cols":4,
+ "data":[4,3,2,1, 1,3,2,1, 2,2,3,1, 1,1,1,3],
+ "options":{"block_size":2},"cache":true}
+EOF
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    --data @"$WORKDIR/req.json" "$BASE/v1/lu" >"$WORKDIR/lu1.json"
+grep -q '"factors"' "$WORKDIR/lu1.json"
+grep -q '"perm"' "$WORKDIR/lu1.json"
+grep -q '"cache":"miss"' "$WORKDIR/lu1.json"
+
+echo "== JSON LU repeat (cache hit) =="
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    --data @"$WORKDIR/req.json" "$BASE/v1/lu" >"$WORKDIR/lu2.json"
+grep -q '"cache":"hit"' "$WORKDIR/lu2.json"
+
+echo "== binary LU =="
+# 2x2 identity, column-major little-endian float64: 1.0 0.0 0.0 1.0
+printf '\x00\x00\x00\x00\x00\x00\xf0\x3f\x00\x00\x00\x00\x00\x00\x00\x00' >"$WORKDIR/eye.bin"
+printf '\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\xf0\x3f' >>"$WORKDIR/eye.bin"
+curl -fsS -D "$WORKDIR/bin.headers" -X POST \
+    -H 'Content-Type: application/octet-stream' \
+    --data-binary @"$WORKDIR/eye.bin" \
+    "$BASE/v1/lu?rows=2&cols=2" >"$WORKDIR/bin.out"
+grep -qi 'X-Permutation: 0 1' "$WORKDIR/bin.headers"
+[ "$(wc -c <"$WORKDIR/bin.out")" -eq 32 ]
+# The LU of the identity is the identity: the bytes round-trip unchanged.
+cmp "$WORKDIR/eye.bin" "$WORKDIR/bin.out"
+
+echo "== JSON QR =="
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    --data '{"rows":4,"cols":2,"data":[1,1,1,1, 1,2,3,4]}' \
+    "$BASE/v1/qr" | grep -q '"r"'
+
+echo "== bad input is 400 =="
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' --data '{not json' "$BASE/v1/lu")
+[ "$code" = "400" ]
+
+echo "== metrics reconcile =="
+curl -fsS "$BASE/metrics" >"$WORKDIR/metrics.txt"
+grep -q 'facsvc_engine_cache_hits_total 1' "$WORKDIR/metrics.txt"
+grep -q 'facsvc_http_requests_total{op="lu",status="200"} 3' "$WORKDIR/metrics.txt"
+grep -q 'facsvc_http_requests_total{op="lu",status="400"} 1' "$WORKDIR/metrics.txt"
+grep -q 'facsvc_http_requests_total{op="qr",status="200"} 1' "$WORKDIR/metrics.txt"
+grep -q 'facsvc_engine_shed_total 0' "$WORKDIR/metrics.txt"
+
+echo "== SIGTERM drain =="
+kill -TERM "$SRV_PID"
+for i in $(seq 1 100); do
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then break; fi
+    sleep 0.1
+done
+if kill -0 "$SRV_PID" 2>/dev/null; then
+    echo "server did not exit within 10s of SIGTERM"; exit 1
+fi
+wait "$SRV_PID" && rc=0 || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "server exited $rc after SIGTERM:"; cat "$WORKDIR/server.log"; exit 1
+fi
+grep -q 'shutting down' "$WORKDIR/server.log"
+
+echo "facsvc smoke: OK"
