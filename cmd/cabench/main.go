@@ -8,6 +8,7 @@
 //	cabench -exp table1 -measured     # real execution at reduced scale
 //	cabench -exp fig8 -workers 8 -v
 //	cabench -gemm -json BENCH_gemm.json -min-speedup 1.5
+//	cabench -obs-overhead 3            # fail if scheduler metrics cost >3%
 //
 // Modeled mode (default) builds the algorithms' real task graphs at the
 // paper's sizes and schedules them in virtual time on the calibrated
@@ -46,6 +47,9 @@ func main() {
 		jsonPath   = flag.String("json", "", "with -gemm: write the report as JSON to this path")
 		minSpeedup = flag.Float64("min-speedup", 0, "with -gemm: exit 1 if the square-512 packed/baseline speedup is below this")
 		sample     = flag.Duration("sample", 200*time.Millisecond, "with -gemm: minimum measurement window per case")
+
+		obsOverhead = flag.Float64("obs-overhead", 0, "measure scheduler-instrumentation overhead on engine-reuse; exit 1 if it exceeds this percent")
+		obsRounds   = flag.Int("obs-rounds", 3, "with -obs-overhead: alternating on/off measurement rounds")
 	)
 	flag.Parse()
 
@@ -66,6 +70,10 @@ func main() {
 
 	if *gemm {
 		runGemm(cfg, *jsonPath, *minSpeedup, *sample)
+		return
+	}
+	if *obsOverhead > 0 {
+		runObsOverhead(cfg, *obsOverhead, *obsRounds)
 		return
 	}
 
@@ -132,4 +140,18 @@ func runGemm(cfg bench.Config, jsonPath string, minSpeedup float64, sample time.
 		}
 		fmt.Fprintf(os.Stderr, "gemm gate ok: square-512 speedup %.2fx >= %.2fx\n", got, minSpeedup)
 	}
+}
+
+// runObsOverhead runs the instrumentation-overhead gate: engine-reuse with
+// scheduler metrics on vs off, best round each, failing when the relative
+// cost exceeds maxPct.
+func runObsOverhead(cfg bench.Config, maxPct float64, rounds int) {
+	res := bench.RunObsOverhead(cfg, rounds)
+	fmt.Printf("obs overhead: instrumented %.2f ms/op, uninstrumented %.2f ms/op, overhead %.2f%% (%d rounds, best each)\n",
+		res.InstrumentedMsPerOp, res.UninstrumentedMsPerOp, res.OverheadPct, res.Rounds)
+	if res.OverheadPct > maxPct {
+		fmt.Fprintf(os.Stderr, "obs overhead gate: %.2f%% > allowed %.2f%%\n", res.OverheadPct, maxPct)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "obs overhead gate ok: %.2f%% <= %.2f%%\n", res.OverheadPct, maxPct)
 }

@@ -8,10 +8,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
 	"io"
 	"net/http"
-	"strings"
 	"sync"
 	"testing"
 
@@ -76,25 +74,21 @@ func TestSaturatingLoadShedsCleanly(t *testing.T) {
 		t.Fatalf("engine Shed = %d, clients saw %d 429s", s.Shed, shed429)
 	}
 
-	// /metrics must reconcile exactly with the client-observed outcomes.
-	resp, err := http.Get(url + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	metrics, _ := io.ReadAll(resp.Body)
-	text := string(metrics)
-	wantOK := fmt.Sprintf(`facsvc_http_requests_total{op="lu",status="200"} %d`, ok200)
-	if !strings.Contains(text, wantOK) {
-		t.Fatalf("metrics missing %q:\n%s", wantOK, text)
+	// /metrics must reconcile exactly with the client-observed outcomes,
+	// through the strict exposition parser rather than string matching.
+	fams := scrape(t, url)
+	if got, okk := sample(fams, "facsvc_http_requests_total", "op", "lu", "status", "200"); !okk || got != float64(ok200) {
+		t.Fatalf(`facsvc_http_requests_total{op="lu",status="200"} = %g ok=%v, want %d`, got, okk, ok200)
 	}
 	if shed429 > 0 {
-		want429 := fmt.Sprintf(`facsvc_http_requests_total{op="lu",status="429"} %d`, shed429)
-		if !strings.Contains(text, want429) {
-			t.Fatalf("metrics missing %q:\n%s", want429, text)
+		if got, okk := sample(fams, "facsvc_http_requests_total", "op", "lu", "status", "429"); !okk || got != float64(shed429) {
+			t.Fatalf(`facsvc_http_requests_total{op="lu",status="429"} = %g ok=%v, want %d`, got, okk, shed429)
 		}
 	}
-	if !strings.Contains(text, fmt.Sprintf("facsvc_engine_shed_total %d", shed429)) {
-		t.Fatalf("engine shed metric does not match %d:\n%s", shed429, text)
+	if got, okk := sample(fams, "facsvc_engine_shed_total"); !okk || got != float64(shed429) {
+		t.Fatalf("facsvc_engine_shed_total = %g ok=%v, want %d", got, okk, shed429)
+	}
+	if got, okk := sample(fams, "facsvc_http_requests_started_total", "op", "lu"); !okk || got != float64(clients) {
+		t.Fatalf(`facsvc_http_requests_started_total{op="lu"} = %g ok=%v, want %d`, got, okk, clients)
 	}
 }

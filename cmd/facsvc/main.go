@@ -14,6 +14,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,6 +26,7 @@ import (
 // serviceConfig is the flag-derived configuration of one facsvc process.
 type serviceConfig struct {
 	addr         string
+	pprofAddr    string
 	engine       factor.EngineConfig
 	drainTimeout time.Duration
 }
@@ -32,6 +34,7 @@ type serviceConfig struct {
 func main() {
 	var cfg serviceConfig
 	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "listen address")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address (empty = off)")
 	flag.IntVar(&cfg.engine.Workers, "workers", 0, "factorization pool size (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.engine.MaxInFlight, "max-in-flight", 64, "admission limit; excess requests get 429 (0 = unlimited)")
 	flag.IntVar(&cfg.engine.MaxRetries, "max-retries", 2, "retries for transient factorization failures")
@@ -56,8 +59,32 @@ func main() {
 // ready is non-nil, the bound listener address is sent on it once the
 // server is accepting — tests use it to connect to ":0" listeners.
 func run(ctx context.Context, cfg serviceConfig, ready chan<- net.Addr) error {
+	// The engine registers its metrics under facsvc_engine_* so the /metrics
+	// keys match the service's historical hand-rolled exposition.
+	cfg.engine.MetricsNamespace = "facsvc_engine"
 	eng := factor.NewEngineWithConfig(cfg.engine)
 	srv := newServer(eng, cfg.engine)
+
+	// Opt-in profiling listener, kept off the service port so a scrape-happy
+	// operator can't accidentally expose pprof with /metrics. Request handlers
+	// label work with op/encoding (runtime/pprof), so profiles collected here
+	// can be focused with -tagfocus op=lu.
+	if cfg.pprofAddr != "" {
+		pln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("facsvc: pprof listen %s: %w", cfg.pprofAddr, err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Handler: pmux}
+		go psrv.Serve(pln) // best-effort debug listener; Close below tears it down
+		fmt.Fprintf(os.Stderr, "facsvc: pprof on %s\n", pln.Addr())
+		defer psrv.Close()
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {

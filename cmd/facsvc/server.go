@@ -5,17 +5,25 @@ package main
 // shell over factor.Engine — every robustness decision (admission control,
 // retries, watchdog, coalescing, result cache) lives in the engine, and the
 // handlers only translate its vocabulary into HTTP's.
+//
+// All service metrics live in internal/obs registries: the engine's own
+// (namespace facsvc_engine, owned by factor.Engine) and the HTTP layer's
+// (facsvc_http_*, owned here). /metrics gathers the engine registry FIRST
+// and the HTTP registry second; with facsvc_http_requests_started_total
+// incremented before each engine call, that ordering guarantees a scrape in
+// the middle of a burst can never report more engine-side events (cache
+// hits, retries, batched requests) than HTTP requests that started them.
 
 import (
 	"context"
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
-	"sync"
+	"runtime/pprof"
 	"time"
 
 	"repro/factor"
+	"repro/internal/obs"
 )
 
 // statusClientClosedRequest is nginx's non-standard 499: the client gave up
@@ -28,13 +36,31 @@ type server struct {
 	eng *factor.Engine
 	cfg factor.EngineConfig // for Retry-After; the engine keeps its own copy
 
-	mu       sync.Mutex
-	requests map[string]int64 // "op status" -> count
-	inFlight int64
+	reg      *obs.Registry
+	started  *obs.CounterVec   // facsvc_http_requests_started_total{op}
+	requests *obs.CounterVec   // facsvc_http_requests_total{op,status}
+	inFlight *obs.Gauge        // facsvc_http_in_flight
+	seconds  *obs.HistogramVec // facsvc_http_request_seconds{op}
 }
 
 func newServer(eng *factor.Engine, cfg factor.EngineConfig) *server {
-	return &server{eng: eng, cfg: cfg, requests: make(map[string]int64)}
+	reg := obs.NewRegistry()
+	return &server{
+		eng: eng,
+		cfg: cfg,
+		reg: reg,
+		started: reg.CounterVec("facsvc_http_requests_started_total",
+			"Factorization requests that passed decoding and entered the engine.",
+			"op"),
+		requests: reg.CounterVec("facsvc_http_requests_total",
+			"Finished factorization requests by operation and HTTP status.",
+			"op", "status"),
+		inFlight: reg.Gauge("facsvc_http_in_flight",
+			"Factorization requests currently inside a handler."),
+		seconds: reg.HistogramVec("facsvc_http_request_seconds",
+			"Wall time of finished factorization requests, by operation.",
+			nil, "op"),
+	}
 }
 
 // handler returns the service's routing table.
@@ -67,21 +93,23 @@ func (s *server) retryAfterSeconds() int {
 
 // count records one finished request for /metrics.
 func (s *server) count(op string, status int) {
-	s.mu.Lock()
-	s.requests[fmt.Sprintf("%s %d", op, status)]++
-	s.mu.Unlock()
+	s.requests.With(op, fmt.Sprintf("%d", status)).Inc()
+}
+
+// encodingName labels the request's wire encoding for pprof.
+func encodingName(req *request) string {
+	if req.binary {
+		return "binary"
+	}
+	return "json"
 }
 
 // factorize serves one LU or QR request end to end.
 func (s *server) factorize(w http.ResponseWriter, r *http.Request, op string) {
-	s.mu.Lock()
-	s.inFlight++
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		s.inFlight--
-		s.mu.Unlock()
-	}()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	start := time.Now()
+	defer func() { s.seconds.With(op).Observe(time.Since(start).Seconds()) }()
 
 	req, err := decodeRequest(r)
 	if err != nil {
@@ -97,39 +125,47 @@ func (s *server) factorize(w http.ResponseWriter, r *http.Request, op string) {
 		defer cancel()
 	}
 
+	// Counted before the engine call: see the /metrics ordering invariant in
+	// the file comment.
+	s.started.With(op).Inc()
+
+	// pprof labels make CPU profiles attributable per operation and wire
+	// encoding (go tool pprof -tagfocus op=lu).
 	cacheState := "off"
-	switch op {
-	case "lu":
-		var f *factor.LUFactorization
-		var hit bool
-		if req.cache {
-			f, hit, err = s.eng.LUCachedCtx(ctx, req.a, req.opt)
-			cacheState = cacheName(hit)
-		} else {
-			f, err = s.eng.LUCtx(ctx, req.a, req.opt)
+	pprof.Do(ctx, pprof.Labels("op", op, "encoding", encodingName(req)), func(ctx context.Context) {
+		switch op {
+		case "lu":
+			var f *factor.LUFactorization
+			var hit bool
+			if req.cache {
+				f, hit, err = s.eng.LUCachedCtx(ctx, req.a, req.opt)
+				cacheState = cacheName(hit)
+			} else {
+				f, err = s.eng.LUCtx(ctx, req.a, req.opt)
+			}
+			if err != nil {
+				s.fail(w, op, err)
+				return
+			}
+			s.count(op, http.StatusOK)
+			writeLUResponse(w, req, f, cacheState)
+		case "qr":
+			var f *factor.QRFactorization
+			var hit bool
+			if req.cache {
+				f, hit, err = s.eng.QRCachedCtx(ctx, req.a, req.opt)
+				cacheState = cacheName(hit)
+			} else {
+				f, err = s.eng.QRCtx(ctx, req.a, req.opt)
+			}
+			if err != nil {
+				s.fail(w, op, err)
+				return
+			}
+			s.count(op, http.StatusOK)
+			writeQRResponse(w, req, f, cacheState)
 		}
-		if err != nil {
-			s.fail(w, op, err)
-			return
-		}
-		s.count(op, http.StatusOK)
-		writeLUResponse(w, req, f, cacheState)
-	case "qr":
-		var f *factor.QRFactorization
-		var hit bool
-		if req.cache {
-			f, hit, err = s.eng.QRCachedCtx(ctx, req.a, req.opt)
-			cacheState = cacheName(hit)
-		} else {
-			f, err = s.eng.QRCtx(ctx, req.a, req.opt)
-		}
-		if err != nil {
-			s.fail(w, op, err)
-			return
-		}
-		s.count(op, http.StatusOK)
-		writeQRResponse(w, req, f, cacheState)
-	}
+	})
 }
 
 func cacheName(hit bool) string {
@@ -163,40 +199,16 @@ func (s *server) fail(w http.ResponseWriter, op string, err error) {
 	http.Error(w, err.Error(), status)
 }
 
-// metrics serves a plain-text snapshot: the engine's self-healing, cache
-// and batching counters plus the HTTP layer's own request accounting, in a
-// Prometheus-compatible exposition format.
+// metrics serves the Prometheus text exposition of both registries. The
+// engine registry is gathered strictly before the HTTP one so counters that
+// only move inside an engine call (cache hits, retries) can never exceed
+// facsvc_http_requests_started_total in one scrape.
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.Stats()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "facsvc_engine_retries_total %d\n", st.Retries)
-	fmt.Fprintf(w, "facsvc_engine_shed_total %d\n", st.Shed)
-	fmt.Fprintf(w, "facsvc_engine_stalled_total %d\n", st.Stalled)
-	fmt.Fprintf(w, "facsvc_engine_in_flight %d\n", st.InFlight)
-	fmt.Fprintf(w, "facsvc_engine_cache_hits_total %d\n", st.CacheHits)
-	fmt.Fprintf(w, "facsvc_engine_cache_misses_total %d\n", st.CacheMisses)
-	fmt.Fprintf(w, "facsvc_engine_cache_evictions_total %d\n", st.CacheEvictions)
-	fmt.Fprintf(w, "facsvc_engine_batched_requests_total %d\n", st.BatchedRequests)
-	fmt.Fprintf(w, "facsvc_engine_batch_flushes_total %d\n", st.BatchFlushes)
-	fmt.Fprintf(w, "facsvc_engine_pool_tasks_total %d\n", st.PoolTasks)
-
-	s.mu.Lock()
-	keys := make([]string, 0, len(s.requests))
-	for k := range s.requests {
-		keys = append(keys, k)
+	engine := s.eng.Registry().Gather()
+	front := s.reg.Gather()
+	w.Header().Set("Content-Type", obs.ExpositionContentType)
+	if err := engine.WriteText(w); err != nil {
+		return // client went away mid-scrape; nothing to recover
 	}
-	sort.Strings(keys)
-	lines := make([]string, len(keys))
-	for i, k := range keys {
-		var op string
-		var status int
-		fmt.Sscanf(k, "%s %d", &op, &status)
-		lines[i] = fmt.Sprintf("facsvc_http_requests_total{op=%q,status=\"%d\"} %d", op, status, s.requests[k])
-	}
-	inFlight := s.inFlight
-	s.mu.Unlock()
-	for _, line := range lines {
-		fmt.Fprintln(w, line)
-	}
-	fmt.Fprintf(w, "facsvc_http_in_flight %d\n", inFlight)
+	_ = front.WriteText(w)
 }

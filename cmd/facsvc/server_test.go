@@ -20,12 +20,14 @@ import (
 	"time"
 
 	"repro/factor"
+	"repro/internal/obs"
 )
 
 // newTestService builds an engine + server + httptest front end; the caller
 // gets the base URL and a cleanup-registered engine.
 func newTestService(t *testing.T, cfg factor.EngineConfig) (string, *factor.Engine) {
 	t.Helper()
+	cfg.MetricsNamespace = "facsvc_engine" // mirror run()
 	eng := factor.NewEngineWithConfig(cfg)
 	ts := httptest.NewServer(newServer(eng, cfg).handler())
 	t.Cleanup(func() {
@@ -313,26 +315,126 @@ func TestCacheHitIdenticalBytes(t *testing.T) {
 	}
 }
 
-func TestMetricsEndpoint(t *testing.T) {
-	url, _ := newTestService(t, factor.EngineConfig{Workers: 2})
-	resp := jsonLU(t, url, jsonRequest{Rows: 8, Cols: 8, Data: randomData(8, 8, 8)})
-	resp.Body.Close()
+// scrape fetches /metrics and parses it with the strict exposition parser;
+// any format violation fails the test.
+func scrape(t *testing.T, url string) []obs.ParsedFamily {
+	t.Helper()
 	m, err := http.Get(url + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer m.Body.Close()
-	body, _ := io.ReadAll(m.Body)
-	text := string(body)
-	for _, want := range []string{
-		"facsvc_engine_shed_total 0",
-		"facsvc_engine_pool_tasks_total",
-		"facsvc_engine_cache_hits_total 0",
-		`facsvc_http_requests_total{op="lu",status="200"} 1`,
-		"facsvc_http_in_flight 0",
+	if got := m.Header.Get("Content-Type"); got != obs.ExpositionContentType {
+		t.Fatalf("/metrics Content-Type = %q, want %q", got, obs.ExpositionContentType)
+	}
+	body, err := io.ReadAll(m.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParseText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics is not valid exposition: %v\n%s", err, body)
+	}
+	return fams
+}
+
+// sample finds one series in a scrape by name and exact label pairs.
+func sample(fams []obs.ParsedFamily, name string, labels ...string) (float64, bool) {
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			if s.Name != name {
+				continue
+			}
+			ok := true
+			for i := 0; i+1 < len(labels); i += 2 {
+				if s.Label(labels[i]) != labels[i+1] {
+					ok = false
+					break
+				}
+			}
+			if ok && len(s.LabelNames)*2 == len(labels) {
+				return s.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	url, _ := newTestService(t, factor.EngineConfig{Workers: 2})
+	resp := jsonLU(t, url, jsonRequest{Rows: 8, Cols: 8, Data: randomData(8, 8, 8)})
+	resp.Body.Close()
+	fams := scrape(t, url)
+
+	// The historical hand-rolled keys survive the registry rebuild.
+	for name, want := range map[string]float64{
+		"facsvc_engine_shed_total":       0,
+		"facsvc_engine_cache_hits_total": 0,
+		"facsvc_http_in_flight":          0,
 	} {
-		if !strings.Contains(text, want) {
-			t.Fatalf("metrics missing %q:\n%s", want, text)
+		got, ok := sample(fams, name)
+		if !ok {
+			t.Fatalf("metrics missing %s", name)
+		}
+		if got != want {
+			t.Fatalf("%s = %g, want %g", name, got, want)
+		}
+	}
+	if got, ok := sample(fams, "facsvc_engine_pool_tasks_total"); !ok || got < 1 {
+		t.Fatalf("facsvc_engine_pool_tasks_total = %g ok=%v, want >= 1", got, ok)
+	}
+	if got, ok := sample(fams, "facsvc_http_requests_total", "op", "lu", "status", "200"); !ok || got != 1 {
+		t.Fatalf(`facsvc_http_requests_total{op="lu",status="200"} = %g ok=%v, want 1`, got, ok)
+	}
+	if got, ok := sample(fams, "facsvc_http_requests_started_total", "op", "lu"); !ok || got != 1 {
+		t.Fatalf(`facsvc_http_requests_started_total{op="lu"} = %g ok=%v, want 1`, got, ok)
+	}
+	if got, ok := sample(fams, "facsvc_http_request_seconds_count", "op", "lu"); !ok || got != 1 {
+		t.Fatalf(`facsvc_http_request_seconds_count{op="lu"} = %g ok=%v, want 1`, got, ok)
+	}
+	if got, ok := sample(fams, "facsvc_engine_request_seconds_count", "op", "lu"); !ok || got != 1 {
+		t.Fatalf(`facsvc_engine_request_seconds_count{op="lu"} = %g ok=%v, want 1`, got, ok)
+	}
+}
+
+// TestMetricsConsistentUnderBurst scrapes /metrics continuously while cached
+// requests land and checks the invariant the registry rebuild exists for: a
+// mid-burst scrape never reports more engine cache hits than HTTP requests
+// started, because started counts before the engine call and the engine
+// registry is gathered first.
+func TestMetricsConsistentUnderBurst(t *testing.T) {
+	url, _ := newTestService(t, factor.EngineConfig{Workers: 2, CacheEntries: 8})
+	data := binaryBody(randomData(12, 12, 11))
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Post(url+"/v1/lu?rows=12&cols=12&block=4&cache=1", "application/octet-stream", bytes.NewReader(data))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	defer func() { close(stop); <-done }()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		fams := scrape(t, url)
+		hits, _ := sample(fams, "facsvc_engine_cache_hits_total")
+		started, ok := sample(fams, "facsvc_http_requests_started_total", "op", "lu")
+		if hits > 0 && !ok {
+			t.Fatalf("scrape has %g cache hits but no started counter", hits)
+		}
+		if hits > started {
+			t.Fatalf("inconsistent scrape: %g cache hits > %g started requests", hits, started)
 		}
 	}
 }

@@ -55,8 +55,13 @@ func main() {
 		seed    = flag.Int64("seed", 1, "matrix seed")
 		growth  = flag.Float64("growth-threshold", 0, "pivot-growth guardrail threshold; panels above it re-factor with GEPP (calu; 0 = off)")
 		chaos   = flag.Int64("chaos-seed", 0, "inject deterministic faults with this seed through the self-healing engine (calu; 0 = off)")
+		crit    = flag.Bool("critical-path", false, "trace the run and report the longest dependency chain (calu)")
 	)
 	flag.Parse()
+	if *crit && *alg != "calu" {
+		fmt.Fprintln(os.Stderr, "-critical-path requires -alg calu (the scheduled path)")
+		os.Exit(2)
+	}
 
 	orig := matrix.Random(*m, *n, *seed)
 	a := orig.Clone()
@@ -88,7 +93,7 @@ func main() {
 		}
 		eng := factor.NewEngineWithConfig(cfg)
 		defer eng.Close()
-		opt := factor.Options{BlockSize: *b, PanelThreads: *tr, Tree: ftree}
+		opt := factor.Options{BlockSize: *b, PanelThreads: *tr, Tree: ftree, Trace: *crit}
 		lu, err := eng.LU(a, opt)
 		fail(err)
 		elapsedReport(start, *m, *n)
@@ -101,6 +106,11 @@ func main() {
 		if inj != nil {
 			fmt.Printf("chaos:        injected panics=%d errors=%d\n",
 				inj.Injected(fault.Panic), inj.Injected(fault.Error))
+		}
+		if *crit {
+			cp, err := lu.CriticalPath()
+			fail(err)
+			cp.Report(os.Stdout)
 		}
 	case "tslu":
 		sw, err := tslu.Factor(a, *tr, tree)

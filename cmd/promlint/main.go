@@ -1,0 +1,55 @@
+// Command promlint validates Prometheus text exposition read from stdin
+// with the strict parser in internal/obs: HELP before TYPE before samples,
+// no duplicate families or series, monotone cumulative histogram buckets
+// ending at le="+Inf", and _count consistent with the +Inf bucket. It exits
+// 0 on valid input and 1 with a diagnostic otherwise, so shell pipelines
+// (scripts/facsvc_smoke.sh, ad-hoc curl | promlint) can gate on format
+// correctness instead of grepping for substrings.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | promlint
+//	promlint -require facsvc_engine_shed_total < metrics.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric family names that must be present")
+	quiet := flag.Bool("q", false, "suppress the summary line on success")
+	flag.Parse()
+
+	fams, err := obs.ParseText(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	byName := make(map[string]bool, len(fams))
+	samples := 0
+	for _, f := range fams {
+		byName[f.Name] = true
+		samples += len(f.Samples)
+	}
+	if *require != "" {
+		var missing []string
+		for _, name := range strings.Split(*require, ",") {
+			if name = strings.TrimSpace(name); name != "" && !byName[name] {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "promlint: missing required families: %s\n", strings.Join(missing, ", "))
+			os.Exit(1)
+		}
+	}
+	if !*quiet {
+		fmt.Printf("promlint: ok — %d families, %d samples\n", len(fams), samples)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/stability"
 	"repro/internal/tiled"
+	"repro/internal/trace"
 	"repro/internal/tslu"
 	"repro/internal/tsqr"
 )
@@ -40,8 +41,13 @@ func main() {
 		tile    = flag.Int("tile", 128, "tile size (tiled)")
 		flat    = flag.Bool("flat", false, "flat reduction tree")
 		seed    = flag.Int64("seed", 1, "matrix seed")
+		crit    = flag.Bool("critical-path", false, "trace the run and report the longest dependency chain (caqr)")
 	)
 	flag.Parse()
+	if *crit && *alg != "caqr" {
+		fmt.Fprintln(os.Stderr, "-critical-path requires -alg caqr (the scheduled path)")
+		os.Exit(2)
+	}
 
 	// Ctrl-C cancels the scheduled factorization between tasks instead of
 	// killing the process mid-kernel; a second interrupt kills it outright.
@@ -59,7 +65,7 @@ func main() {
 	start := time.Now()
 	switch *alg {
 	case "caqr":
-		opt := core.Options{BlockSize: *b, PanelThreads: *tr, Tree: tree, Workers: *workers, Lookahead: true}
+		opt := core.Options{BlockSize: *b, PanelThreads: *tr, Tree: tree, Workers: *workers, Lookahead: true, Trace: *crit}
 		res, err := core.CAQRWithPoolCtx(ctx, a, opt, nil)
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
@@ -70,6 +76,10 @@ func main() {
 			os.Exit(1)
 		}
 		elapsedReport(start, *m, *n)
+		if *crit {
+			tra := trace.FromSched(res.Events, res.Graph, *workers)
+			trace.AnalyzeCriticalPath(tra, res.Graph).Report(os.Stdout)
+		}
 		q, r = res.ExplicitQ(), res.R()
 	case "tsqr":
 		f := tsqr.Factor(a, *tr, tree)

@@ -52,6 +52,8 @@ func main() {
 		measured = flag.Bool("measured", false, "run the real factorization instead of the model")
 		width    = flag.Int("width", 120, "gantt chart width in characters")
 		csvPath  = flag.String("csv", "", "also write raw spans to this CSV file")
+		perfetto = flag.String("perfetto", "", "write a Chrome/Perfetto trace-event JSON file (load in ui.perfetto.dev)")
+		critPath = flag.Bool("critical-path", false, "analyze the longest dependency chain and idle attribution")
 	)
 	flag.Parse()
 
@@ -73,6 +75,7 @@ func main() {
 	opt := core.Options{BlockSize: *b, PanelThreads: *tr, Tree: tree, Workers: *cores, Lookahead: true, Trace: true}
 
 	var tra *trace.Trace
+	var graph *sched.Graph
 	if *measured {
 		// Ctrl-C cancels the measured run between tasks; the partial trace
 		// is discarded (drained tasks leave no events to render anyway).
@@ -80,7 +83,6 @@ func main() {
 		defer stopSig()
 		a := matrix.Random(*m, *n, 42)
 		var events []sched.Event
-		var graph *sched.Graph
 		if *alg == "caqr" {
 			res, err := core.CAQRWithPoolCtx(ctx, a, opt, nil)
 			if err != nil {
@@ -106,6 +108,7 @@ func main() {
 		}
 		res := simsched.Run(g, mach)
 		tra = trace.FromSim(res.Events, g, mach.Cores)
+		graph = g
 		fmt.Printf("modeled %s trace on %s, %dx%d, b=%d, Tr=%d\n", *alg, mach.Name, *m, *n, *b, *tr)
 	}
 
@@ -114,6 +117,33 @@ func main() {
 	fmt.Printf("\nbusy fractions: P=%.3f L=%.3f U=%.3f S=%.3f idle=%.3f\n",
 		st.BusyByKind[sched.KindP], st.BusyByKind[sched.KindL],
 		st.BusyByKind[sched.KindU], st.BusyByKind[sched.KindS], st.Idle)
+
+	// Both the report and the Perfetto export want chain membership, so the
+	// analysis runs once for either flag.
+	var cp *trace.CriticalPath
+	if *critPath || *perfetto != "" {
+		cp = trace.AnalyzeCriticalPath(tra, graph)
+	}
+	if *critPath {
+		fmt.Println()
+		cp.Report(os.Stdout)
+	}
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfetto:", err)
+			os.Exit(1)
+		}
+		err = tra.WriteChromeTrace(f, cp.OnPathSet())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfetto:", err)
+			os.Exit(1)
+		}
+		fmt.Println("perfetto trace written to", *perfetto, "(open in ui.perfetto.dev)")
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

@@ -11,10 +11,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -47,11 +47,13 @@ type batcher struct {
 	timer   *time.Timer
 	closed  bool
 
-	flushes atomic.Int64
+	// flushes is the engine's registered batch-flush counter
+	// (newEngineMetrics).
+	flushes *obs.Counter
 }
 
 func newBatcher(e *Engine, window time.Duration, maxReq int) *batcher {
-	return &batcher{e: e, window: window, maxReq: maxReq}
+	return &batcher{e: e, window: window, maxReq: maxReq, flushes: e.met.batchFlushes}
 }
 
 // do enqueues prep and waits for its batch to run, returning the request's
@@ -133,7 +135,7 @@ func (b *batcher) flush(items []*batchItem) {
 	} else {
 		_, runErr = sub.Wait()
 	}
-	b.flushes.Add(1)
+	b.flushes.Inc()
 	for _, it := range items {
 		it.err = it.prep.finish(runErr)
 		close(it.done)

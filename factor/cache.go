@@ -15,9 +15,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // cacheEntry is one resident result; val holds a *LUFactorization or
@@ -43,15 +43,21 @@ type resultCache struct {
 	entries  map[string]*list.Element
 	inflight map[string]*flight
 
-	hits, misses, evictions atomic.Int64
+	// hits/misses/evictions are the engine's registered cache metrics
+	// (newEngineMetrics); the cache increments them, Stats and /metrics read
+	// them.
+	hits, misses, evictions *obs.Counter
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, met *engineMetrics) *resultCache {
 	return &resultCache{
-		cap:      capacity,
-		ll:       list.New(),
-		entries:  make(map[string]*list.Element),
-		inflight: make(map[string]*flight),
+		cap:       capacity,
+		ll:        list.New(),
+		entries:   make(map[string]*list.Element),
+		inflight:  make(map[string]*flight),
+		hits:      met.cacheHits,
+		misses:    met.cacheMisses,
+		evictions: met.cacheEvictions,
 	}
 }
 
@@ -65,7 +71,7 @@ func (c *resultCache) do(ctx context.Context, key string, fn func() (any, error)
 		c.ll.MoveToFront(el)
 		v := el.Value.(*cacheEntry).val
 		c.mu.Unlock()
-		c.hits.Add(1)
+		c.hits.Inc()
 		return v, true, nil
 	}
 	if f, ok := c.inflight[key]; ok {
@@ -75,7 +81,7 @@ func (c *resultCache) do(ctx context.Context, key string, fn func() (any, error)
 			if f.err != nil {
 				return nil, false, f.err
 			}
-			c.hits.Add(1)
+			c.hits.Inc()
 			return f.val, true, nil
 		case <-ctx.Done():
 			return nil, false, fmt.Errorf("%w waiting for cached result: %w", ErrCancelled, ctx.Err())
@@ -95,12 +101,12 @@ func (c *resultCache) do(ctx context.Context, key string, fn func() (any, error)
 			tail := c.ll.Back()
 			c.ll.Remove(tail)
 			delete(c.entries, tail.Value.(*cacheEntry).key)
-			c.evictions.Add(1)
+			c.evictions.Inc()
 		}
 	}
 	c.mu.Unlock()
 	close(f.done)
-	c.misses.Add(1)
+	c.misses.Inc()
 	return f.val, false, f.err
 }
 

@@ -7,10 +7,10 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -101,6 +101,10 @@ type EngineConfig struct {
 	// factorizations saturate the pool on their own and would only delay
 	// the batch). 0 means 256.
 	BatchMaxDim int
+	// MetricsNamespace prefixes the engine's registered metric names
+	// (e.g. "facsvc_engine" → facsvc_engine_retries_total). Empty means
+	// "engine".
+	MetricsNamespace string
 }
 
 // Stats is a snapshot of an engine's self-healing counters.
@@ -153,11 +157,9 @@ type Engine struct {
 	batch *batcher     // nil when coalescing is off
 	cache *resultCache // nil when the result cache is off
 
-	retries  atomic.Int64
-	shed     atomic.Int64
-	stalls   atomic.Int64
-	inFlight atomic.Int64
-	batched  atomic.Int64
+	// met backs every Stats() field with a registered obs metric, shared
+	// with the Prometheus exposition (Engine.Registry).
+	met *engineMetrics
 
 	watchMu  sync.Mutex
 	watched  map[int64]context.CancelCauseFunc
@@ -196,17 +198,21 @@ func NewEngineWithConfig(cfg EngineConfig) *Engine {
 			cfg.BatchMaxDim = 256
 		}
 	}
+	if cfg.MetricsNamespace == "" {
+		cfg.MetricsNamespace = "engine"
+	}
 	e := &Engine{
 		pool:    sched.NewPool(cfg.Workers),
 		workers: cfg.Workers,
 		cfg:     cfg,
 		watched: make(map[int64]context.CancelCauseFunc),
 	}
+	e.met = newEngineMetrics(cfg.MetricsNamespace, e.pool)
 	if cfg.MaxInFlight > 0 {
 		e.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
 	if cfg.CacheEntries > 0 {
-		e.cache = newResultCache(cfg.CacheEntries)
+		e.cache = newResultCache(cfg.CacheEntries, e.met)
 	}
 	if cfg.BatchWindow > 0 {
 		e.batch = newBatcher(e, cfg.BatchWindow, cfg.BatchMaxRequests)
@@ -234,26 +240,32 @@ func NewEngineWithConfig(cfg EngineConfig) *Engine {
 func (e *Engine) Workers() int { return e.workers }
 
 // Stats returns a snapshot of the self-healing, cache and batching
-// counters.
+// counters. Every field reads the same registered metric the Prometheus
+// exposition (Registry) serves — one storage, two views.
 func (e *Engine) Stats() Stats {
-	s := Stats{
-		Retries:         e.retries.Load(),
-		Shed:            e.shed.Load(),
-		Stalled:         e.stalls.Load(),
-		InFlight:        e.inFlight.Load(),
-		BatchedRequests: e.batched.Load(),
+	return Stats{
+		Retries:         e.met.retries.Value(),
+		Shed:            e.met.shed.Value(),
+		Stalled:         e.met.stalls.Value(),
+		InFlight:        e.met.inFlight.Value(),
+		BatchedRequests: e.met.batched.Value(),
+		CacheHits:       e.met.cacheHits.Value(),
+		CacheMisses:     e.met.cacheMisses.Value(),
+		CacheEvictions:  e.met.cacheEvictions.Value(),
+		BatchFlushes:    e.met.batchFlushes.Value(),
 		PoolTasks:       int64(e.pool.CompletedTasks()),
 	}
-	if e.cache != nil {
-		s.CacheHits = e.cache.hits.Load()
-		s.CacheMisses = e.cache.misses.Load()
-		s.CacheEvictions = e.cache.evictions.Load()
-	}
-	if e.batch != nil {
-		s.BatchFlushes = e.batch.flushes.Load()
-	}
-	return s
 }
+
+// Registry exposes the engine's metric registry for exposition (cmd/facsvc
+// gathers it into /metrics). Callers must not register further metrics on
+// it.
+func (e *Engine) Registry() *obs.Registry { return e.met.reg }
+
+// PoolMetrics snapshots the engine's scheduler-pool instrumentation:
+// per-worker busy time, steal counters, queue depth high-water marks and
+// per-kind task latency. See sched.PoolMetrics.
+func (e *Engine) PoolMetrics() sched.PoolMetrics { return e.pool.Metrics() }
 
 // Close shuts the engine down: in-flight factorizations complete, the
 // watchdog and the workers exit, and subsequent LU/QR calls fail with
@@ -370,7 +382,7 @@ func (e *Engine) admit() error {
 	case e.sem <- struct{}{}:
 		return nil
 	default:
-		e.shed.Add(1)
+		e.met.shed.Inc()
 		return fmt.Errorf("%w: %d requests in flight", ErrOverloaded, e.cfg.MaxInFlight)
 	}
 }
@@ -448,8 +460,8 @@ func (e *Engine) serve(ctx context.Context, a *Matrix, run func(context.Context)
 		return err
 	}
 	defer e.release()
-	e.inFlight.Add(1)
-	defer e.inFlight.Add(-1)
+	e.met.inFlight.Add(1)
+	defer e.met.inFlight.Add(-1)
 
 	var snap *Matrix
 	if e.cfg.MaxRetries > 0 && a != nil {
@@ -463,7 +475,7 @@ func (e *Engine) serve(ctx context.Context, a *Matrix, run func(context.Context)
 			if snap != nil {
 				a.CopyFrom(snap)
 			}
-			e.retries.Add(1)
+			e.met.retries.Inc()
 		}
 		actx, release := e.watch(ctx)
 		err := run(actx)
@@ -473,7 +485,7 @@ func (e *Engine) serve(ctx context.Context, a *Matrix, run func(context.Context)
 			return nil
 		}
 		if stalled {
-			e.stalls.Add(1)
+			e.met.stalls.Inc()
 			// Substitute the stall sentinel for the raw cancellation error:
 			// the attempt died because the watchdog cancelled it, and — as
 			// a self-inflicted cancellation — it must stay retryable, which
@@ -538,8 +550,13 @@ func (e *Engine) QR(a *Matrix, opt Options) (*QRFactorization, error) {
 // so its contents are unspecified after a cancelled call (a retrying
 // engine restores it between attempts, but not after the final failure).
 func (e *Engine) LUCtx(ctx context.Context, a *Matrix, opt Options) (*LUFactorization, error) {
+	start := time.Now()
 	if e.batchEligible(a, opt) {
-		return e.luBatched(ctx, a, opt)
+		f, err := e.luBatched(ctx, a, opt)
+		if err == nil {
+			e.met.requestSeconds.With("lu").Observe(time.Since(start).Seconds())
+		}
+		return f, err
 	}
 	var res *core.LUResult
 	err := e.serve(ctx, a, func(actx context.Context) error {
@@ -550,6 +567,7 @@ func (e *Engine) LUCtx(ctx context.Context, a *Matrix, opt Options) (*LUFactoriz
 	if err != nil {
 		return nil, err
 	}
+	e.met.requestSeconds.With("lu").Observe(time.Since(start).Seconds())
 	return &LUFactorization{res: res, workers: e.workers}, nil
 }
 
@@ -567,8 +585,13 @@ func (e *Engine) batchEligible(a *Matrix, opt Options) bool {
 // QRCtx is Engine.QR bound to a context, with the same cancellation
 // semantics as Engine.LUCtx.
 func (e *Engine) QRCtx(ctx context.Context, a *Matrix, opt Options) (*QRFactorization, error) {
+	start := time.Now()
 	if e.batchEligible(a, opt) {
-		return e.qrBatched(ctx, a, opt)
+		f, err := e.qrBatched(ctx, a, opt)
+		if err == nil {
+			e.met.requestSeconds.With("qr").Observe(time.Since(start).Seconds())
+		}
+		return f, err
 	}
 	var res *core.QRResult
 	err := e.serve(ctx, a, func(actx context.Context) error {
@@ -579,6 +602,7 @@ func (e *Engine) QRCtx(ctx context.Context, a *Matrix, opt Options) (*QRFactoriz
 	if err != nil {
 		return nil, err
 	}
+	e.met.requestSeconds.With("qr").Observe(time.Since(start).Seconds())
 	return &QRFactorization{res: res, workers: e.workers}, nil
 }
 
@@ -595,7 +619,7 @@ func (e *Engine) luBatched(ctx context.Context, a *Matrix, opt Options) (*LUFact
 		if err != nil {
 			return err
 		}
-		e.batched.Add(1)
+		e.met.batched.Inc()
 		w := &luPrep{p: prep}
 		if err := e.batch.do(actx, w); err != nil {
 			return err
@@ -622,7 +646,7 @@ func (e *Engine) qrBatched(ctx context.Context, a *Matrix, opt Options) (*QRFact
 		if err != nil {
 			return err
 		}
-		e.batched.Add(1)
+		e.met.batched.Inc()
 		w := &qrPrep{p: prep}
 		if err := e.batch.do(actx, w); err != nil {
 			return err

@@ -1,0 +1,71 @@
+package factor
+
+// metrics.go rebuilds the engine's self-healing counters on internal/obs:
+// every Stats() field is backed by a registered metric, so Engine.Stats and
+// a Prometheus /metrics scrape (cmd/facsvc) read the same storage through
+// one code path instead of parallel atomic fields and hand-rolled text.
+
+import (
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// engineMetrics is the engine's registered metric set. Counter/gauge writes
+// are lock-free; the registry is only locked at registration and Gather.
+type engineMetrics struct {
+	reg *obs.Registry
+
+	retries *obs.Counter
+	shed    *obs.Counter
+	stalls  *obs.Counter
+	batched *obs.Counter
+
+	inFlight *obs.Gauge
+
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+
+	batchFlushes *obs.Counter
+
+	// requestSeconds is the end-to-end request latency (admission through
+	// result, retries included), labeled op="lu"|"qr". Only successful
+	// requests are observed: shed and failed requests would pollute the
+	// distribution with fast-fail samples.
+	requestSeconds *obs.HistogramVec
+}
+
+// newEngineMetrics registers the engine's metrics under the namespace
+// (e.g. "engine" → engine_retries_total). The pool-task counter reads the
+// pool's own completed count at gather time, so it never double-accounts.
+func newEngineMetrics(ns string, pool *sched.Pool) *engineMetrics {
+	reg := obs.NewRegistry()
+	m := &engineMetrics{
+		reg: reg,
+		retries: reg.Counter(ns+"_retries_total",
+			"Factorization attempts beyond each request's first."),
+		shed: reg.Counter(ns+"_shed_total",
+			"Requests rejected with ErrOverloaded by admission control."),
+		stalls: reg.Counter(ns+"_stalled_total",
+			"Requests the watchdog cancelled with ErrStalled."),
+		inFlight: reg.Gauge(ns+"_in_flight",
+			"Requests currently admitted and being served."),
+		cacheHits: reg.Counter(ns+"_cache_hits_total",
+			"Cached-entry-point requests served without a new factorization."),
+		cacheMisses: reg.Counter(ns+"_cache_misses_total",
+			"Cached-entry-point requests that had to factor."),
+		cacheEvictions: reg.Counter(ns+"_cache_evictions_total",
+			"Result-cache LRU entries dropped to stay within CacheEntries."),
+		batched: reg.Counter(ns+"_batched_requests_total",
+			"Factorization attempts served through a coalesced submission."),
+		batchFlushes: reg.Counter(ns+"_batch_flushes_total",
+			"Merged submissions issued for coalesced requests."),
+		requestSeconds: reg.HistogramVec(ns+"_request_seconds",
+			"End-to-end latency of successful factorization requests, by op.",
+			nil, "op"),
+	}
+	reg.CounterFunc(ns+"_pool_tasks_total",
+		"Tasks the engine's scheduler pool has accounted for since start.",
+		func() float64 { return float64(pool.CompletedTasks()) })
+	return m
+}

@@ -12,7 +12,11 @@
 //     errors and wrap sentinels with %w, so errors.Is survives the pool's
 //     panic-to-error recovery;
 //   - goroutine-hygiene: goroutines inside internal/sched go through the
-//     pool's recover path, never a naked `go func()`.
+//     pool's recover path, never a naked `go func()`;
+//   - metrics-hygiene: Stats/Metrics snapshot methods in factor and
+//     internal/sched read their fields via sync/atomic or under the owning
+//     mutex, never as plain loads racing the hot path
+//     (doc/OBSERVABILITY.md).
 //
 // Checks run over type-checked packages loaded from source by Loader; the
 // cmd/calint driver applies them to the whole module. Individual findings
@@ -60,6 +64,7 @@ func Checks() []*Check {
 		ctxPropagationCheck(),
 		errorContractCheck(),
 		goroutineHygieneCheck(),
+		metricsHygieneCheck(),
 	}
 }
 

@@ -47,6 +47,9 @@ func TestGolden(t *testing.T) {
 		// Scope probe: naked go statements outside the hygiene scope are
 		// not findings.
 		{"gohygieneoos", "repro/internal/matrix/fixture"},
+		// Snapshot-method discipline in both instrumented packages.
+		{"metricshygiene", "repro/factor/fixture"},
+		{"metricshygiene", "repro/internal/sched/fixture"},
 	}
 	root, err := filepath.Abs("../..")
 	if err != nil {
@@ -130,7 +133,7 @@ func claim(wants []*expectation, file string, line int, message string) bool {
 // comments refer to.
 func TestCheckNamesStable(t *testing.T) {
 	got := strings.Join(CheckNames(), ",")
-	want := "scratch-release,ctx-propagation,error-contract,goroutine-hygiene"
+	want := "scratch-release,ctx-propagation,error-contract,goroutine-hygiene,metrics-hygiene"
 	if got != want {
 		t.Fatalf("CheckNames() = %s, want %s", got, want)
 	}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// metricsHygieneCheck enforces the observability layer's snapshot
+// discipline: a Stats or Metrics method is read concurrently with the hot
+// path (a /metrics scrape can land mid-factorization), so every counter it
+// reads must go through sync/atomic (an atomic.Int64's Load, an obs.Counter's
+// Value) or be read under the owning mutex. A plain field read in a snapshot
+// method is a data race that the race detector only catches when a scrape
+// happens to collide with an update in a test.
+//
+// The scope covers the instrumented packages: the scheduler
+// (internal/sched, Pool.Metrics) and the engine built on it (factor,
+// Engine.Stats).
+//
+// A snapshot method passes when:
+//   - it acquires a mutex (any .Lock()/.RLock() call) before reading, or
+//   - every receiver-rooted read of a plain (basic-typed) field goes
+//     through a call — an atomic Load, a registered metric's Value(), or an
+//     accessor that owns the synchronization.
+func metricsHygieneCheck() *Check {
+	return &Check{
+		Name: "metrics-hygiene",
+		Doc:  "Stats/Metrics snapshot methods in factor and internal/sched must read fields via sync/atomic or under the owning mutex",
+		Run:  runMetricsHygiene,
+	}
+}
+
+// metricsPkgs are the module-relative package paths the metrics-hygiene
+// check applies to (each including its subpackages).
+var metricsPkgs = []string{schedPkg, "factor"}
+
+// snapshotMethodNames are the method names treated as concurrent snapshots.
+var snapshotMethodNames = map[string]bool{"Stats": true, "Metrics": true}
+
+func runMetricsHygiene(pass *Pass) {
+	rel := passRel(pass)
+	inScope := false
+	for _, p := range metricsPkgs {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || !snapshotMethodNames[fn.Name.Name] {
+				continue
+			}
+			checkSnapshotMethod(pass, info, fn)
+		}
+	}
+}
+
+// checkSnapshotMethod vets one Stats/Metrics body.
+func checkSnapshotMethod(pass *Pass, info *types.Info, fn *ast.FuncDecl) {
+	if acquiresLock(fn.Body) {
+		// The method snapshots under the owning mutex; its plain reads are
+		// ordered against the writers that take the same lock.
+		return
+	}
+	recv := receiverVar(info, fn)
+	if recv == nil {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		if !rootedAt(info, sel.X, recv) {
+			return true
+		}
+		if _, basic := selection.Type().Underlying().(*types.Basic); !basic {
+			// Struct-typed fields (atomic.Int64, *obs.Counter, the mutex
+			// itself) are not the race; the leaf read through them is, and
+			// lands here as its own selector when unguarded.
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"unsynchronized read of %s in %s: snapshot methods race with the hot path — read it via sync/atomic or take the owning mutex first",
+			sel.Sel.Name, fn.Name.Name)
+		return true
+	})
+}
+
+// acquiresLock reports whether the body calls a Lock or RLock method.
+func acquiresLock(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// receiverVar resolves the method's receiver variable, nil when unnamed.
+func receiverVar(info *types.Info, fn *ast.FuncDecl) *types.Var {
+	if len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := info.Defs[fn.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+// rootedAt reports whether expr is the receiver itself or a selector chain
+// hanging off it (s, s.metrics, s.metrics.inner, ...).
+func rootedAt(info *types.Info, expr ast.Expr, recv *types.Var) bool {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return info.Uses[e] == recv
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}

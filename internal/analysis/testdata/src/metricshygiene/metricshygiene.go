@@ -1,0 +1,111 @@
+// Package metricshygiene is a golden-test fixture for the metrics-hygiene
+// check. The golden test loads it masqueraded as "repro/factor/fixture" and
+// "repro/internal/sched/fixture", so both instrumented packages of the
+// check's scope apply; the diagnostics must fire identically under each.
+package metricshygiene
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Snapshot is the value a snapshot method returns.
+type Snapshot struct {
+	Completed int64
+	Depth     int64
+}
+
+// racyPool keeps plain counters and snapshots them without synchronization.
+type racyPool struct {
+	completed int64
+	depth     int64
+}
+
+// Stats reads both fields as plain loads while workers write them: the
+// exact race the check exists to flag.
+func (p *racyPool) Stats() Snapshot {
+	return Snapshot{
+		Completed: p.completed, // want "unsynchronized read of completed"
+		Depth:     p.depth,     // want "unsynchronized read of depth"
+	}
+}
+
+// lockedPool guards its counters with the owning mutex.
+type lockedPool struct {
+	mu        sync.Mutex
+	completed int64
+	depth     int64
+}
+
+// Stats snapshots under the mutex; plain reads are ordered against writers.
+func (p *lockedPool) Stats() Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Snapshot{Completed: p.completed, Depth: p.depth}
+}
+
+// atomicPool keeps counters in atomics.
+type atomicPool struct {
+	completed atomic.Int64
+	inner     struct {
+		depth atomic.Int64
+	}
+}
+
+// Metrics reads through atomic Loads — calls, not plain field reads.
+func (p *atomicPool) Metrics() Snapshot {
+	return Snapshot{
+		Completed: p.completed.Load(),
+		Depth:     p.inner.depth.Load(),
+	}
+}
+
+// nestedRacyPool hides the plain counter one struct deep; the receiver-rooted
+// selector chain must still be traced.
+type nestedRacyPool struct {
+	metrics struct {
+		completed int64
+	}
+}
+
+func (p *nestedRacyPool) Metrics() Snapshot {
+	return Snapshot{Completed: p.metrics.completed} // want "unsynchronized read of completed"
+}
+
+// accessorPool delegates to a method that owns the locking; calls are the
+// accessor pattern and pass.
+type accessorPool struct {
+	locked lockedPool
+}
+
+func (p *accessorPool) Stats() Snapshot {
+	return p.locked.Stats()
+}
+
+// rwPool uses a read lock, which orders the snapshot too.
+type rwPool struct {
+	mu        sync.RWMutex
+	completed int64
+}
+
+func (p *rwPool) Stats() Snapshot {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return Snapshot{Completed: p.completed}
+}
+
+// suppressedPool documents a field that is written once before any reader
+// exists; the finding is acknowledged inline.
+type suppressedPool struct {
+	workers int64
+}
+
+func (p *suppressedPool) Stats() Snapshot {
+	return Snapshot{Depth: p.workers} // calint:ignore metrics-hygiene -- set once at construction, immutable afterwards
+}
+
+// helper below the scoped names: a non-snapshot method reading plain fields
+// is not a finding.
+func (p *racyPool) describe() int64 {
+	return p.completed + p.depth
+}

@@ -1,0 +1,89 @@
+package bench
+
+// Observability overhead gate: the scheduler's always-on instrumentation
+// (internal/sched per-worker counters and kind histograms) must stay cheap
+// enough to leave on in production. RunObsOverhead times the engine-reuse
+// workload with instrumentation enabled and disabled in alternating rounds
+// of the same process — same heap state, same thermal envelope — and
+// compares the best round of each side, so one GC pause or scheduler hiccup
+// cannot fake (or hide) a regression. cmd/cabench -obs-overhead wires this
+// into CI with a percentage ceiling.
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/factor"
+	"repro/internal/sched"
+)
+
+// ObsOverheadResult is one paired measurement of the instrumentation cost.
+type ObsOverheadResult struct {
+	// Rounds is how many on/off pairs ran; the reported times are the
+	// minimum over rounds (the least-disturbed run of each side).
+	Rounds int `json:"rounds"`
+	// InstrumentedMsPerOp and UninstrumentedMsPerOp are the best engine-reuse
+	// times with scheduler instrumentation on and off.
+	InstrumentedMsPerOp   float64 `json:"instrumented_ms_per_op"`
+	UninstrumentedMsPerOp float64 `json:"uninstrumented_ms_per_op"`
+	// OverheadPct is 100 * (on - off) / off; negative values (noise) mean
+	// the instrumented side happened to run faster.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// RunObsOverhead measures the instrumentation overhead on the engine-reuse
+// workload. rounds <= 0 defaults to 3.
+func RunObsOverhead(cfg Config, rounds int) *ObsOverheadResult {
+	if rounds <= 0 {
+		rounds = 3
+	}
+	const (
+		m, n, nb = 1000, 200, 100
+		iters    = 10
+	)
+	orig := factor.Random(m, n, 3)
+	opt := factor.Options{BlockSize: nb, PanelThreads: 4}
+
+	// measure times one engine-reuse pass with the package-level
+	// instrumentation default set for the engines created inside it, and
+	// restores the always-on default before returning.
+	measure := func(on bool) float64 {
+		sched.SetInstrumentation(on)
+		defer sched.SetInstrumentation(true)
+		eng := factor.NewEngine(4)
+		defer eng.Close()
+		if _, err := eng.LU(orig.Clone(), opt); err != nil {
+			panic(fmt.Sprintf("bench: obs-overhead warmup LU failed: %v", err))
+		}
+		var total time.Duration
+		for i := 0; i < iters; i++ {
+			a := orig.Clone()
+			start := time.Now()
+			if _, err := eng.LU(a, opt); err != nil {
+				panic(fmt.Sprintf("bench: obs-overhead LU failed: %v", err))
+			}
+			total += time.Since(start)
+		}
+		return total.Seconds() * 1e3 / iters
+	}
+
+	minOn, minOff := math.Inf(1), math.Inf(1)
+	for r := 0; r < rounds; r++ {
+		progress(cfg, "obs-overhead round %d/%d: instrumented...", r+1, rounds)
+		on := measure(true)
+		progress(cfg, "obs-overhead round %d/%d: uninstrumented...", r+1, rounds)
+		off := measure(false)
+		minOn = math.Min(minOn, on)
+		minOff = math.Min(minOff, off)
+	}
+	res := &ObsOverheadResult{
+		Rounds:                rounds,
+		InstrumentedMsPerOp:   minOn,
+		UninstrumentedMsPerOp: minOff,
+	}
+	if minOff > 0 {
+		res.OverheadPct = 100 * (minOn - minOff) / minOff
+	}
+	return res
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ExpositionContentType is the Content-Type a /metrics handler serving
+// WriteText output should set.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText encodes the snapshot in the Prometheus text exposition format
+// (version 0.0.4): a # HELP and # TYPE line per family, one sample line per
+// series, histograms expanded into cumulative _bucket series plus _sum and
+// _count. Families keep registration order; series are already sorted by
+// Gather, so output is deterministic for a given state.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	for i := range s.Families {
+		if err := writeFamily(w, &s.Families[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText gathers the registry and encodes it; shorthand for HTTP
+// handlers that don't need to inspect the snapshot.
+func (r *Registry) WriteText(w io.Writer) error {
+	return r.Gather().WriteText(w)
+}
+
+func writeFamily(w io.Writer, f *FamilySnapshot) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+		return err
+	}
+	for i := range f.Series {
+		ser := &f.Series[i]
+		if f.Type == TypeHistogram && ser.Hist != nil {
+			if err := writeHistogram(w, f, ser); err != nil {
+				return err
+			}
+			continue
+		}
+		labels := formatLabels(f.LabelNames, ser.LabelValues, "", "")
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, labels, formatValue(ser.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, f *FamilySnapshot, ser *SeriesSnapshot) error {
+	h := ser.Hist
+	var cum int64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		labels := formatLabels(f.LabelNames, ser.LabelValues, "le", formatValue(bound))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, labels, cum); err != nil {
+			return err
+		}
+	}
+	// The +Inf bucket is cumulative over everything, so it always equals
+	// _count (Count is derived from the same bucket reads in Snapshot).
+	labels := formatLabels(f.LabelNames, ser.LabelValues, "le", "+Inf")
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, labels, h.Count); err != nil {
+		return err
+	}
+	plain := formatLabels(f.LabelNames, ser.LabelValues, "", "")
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, plain, formatValue(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.Name, plain, h.Count)
+	return err
+}
+
+// formatLabels renders {a="x",b="y"} from parallel name/value slices, with
+// an optional extra pair (the histogram "le" label) appended. Returns ""
+// when there are no labels at all.
+func formatLabels(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteString(`"`)
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus clients do:
+// integers without an exponent, everything else via strconv 'g'.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline in HELP text, per the format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline in a label
+// value, per the format.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,197 @@
+// Package obs is the repository's zero-dependency observability core: lock-free
+// counters, gauges and fixed-bucket latency histograms, grouped into a Registry
+// that encodes itself in the Prometheus text exposition format (encode.go) and
+// validates such output with a strict parser (parse.go).
+//
+// The package exists so that every layer of the stack — the scheduler pool
+// (sched.Pool.Metrics), the self-healing engine (factor.Engine.Stats) and the
+// HTTP front end (cmd/facsvc /metrics) — shares one metrics code path instead
+// of hand-rolled atomic fields and fmt.Fprintf exposition. The paper's
+// execution-trace evidence (Figs. 3-4) is about where time goes; obs is the
+// always-on numeric side of that story: cheap enough to leave enabled in
+// production (a handful of atomic adds per event), rich enough to answer
+// "where did the time go" without attaching a tracer.
+//
+// Concurrency model: all write paths (Add, Inc, Set, Observe) are lock-free
+// atomics safe for any number of goroutines. Reads (Value, Snapshot, Gather)
+// are atomic per metric; a Gather taken during a burst is per-metric exact but
+// not a cross-metric transaction — callers that need cross-metric invariants
+// order their reads (see cmd/facsvc's snapshot ordering) or read under the
+// mutex that owns the fields (see sched.Pool.Metrics).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value (events since process start).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increments the counter by n. Counters are monotonic: a negative n
+// panics, since a decreasing counter silently corrupts every rate() computed
+// from it.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("obs: negative Counter.Add(%d)", n))
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (in-flight requests, queue depth).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// SetMax raises the gauge to n if n exceeds the current value — a lock-free
+// high-water mark.
+func (g *Gauge) SetMax(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// DefBuckets is the default latency bucket layout, in seconds: log-spaced
+// from 1µs (a tiny tree-reduction task) to 10s (a full paper-scale
+// factorization), which covers every task kind and request class in the
+// repository with 9 buckets.
+var DefBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 2.5, 10}
+
+// Histogram is a fixed-bucket histogram of float64 observations (seconds, by
+// convention). Buckets are chosen at construction and never change, so
+// Observe is a bounded scan plus two atomic adds — cheap enough for per-task
+// recording on the pool's hot path.
+type Histogram struct {
+	// bounds are the inclusive upper bounds of each bucket, ascending. An
+	// implicit +Inf bucket catches everything above the last bound.
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
+	sumBits atomic.Uint64  // float64 bits of the running sum
+}
+
+// NewHistogram builds an unregistered histogram with the given ascending
+// bucket upper bounds (nil means DefBuckets). Use Registry.Histogram for a
+// registered one.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds:  bounds,
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. NaN observations are dropped — a NaN sum poisons
+// the exposition forever, and a NaN latency is always a caller bug.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Count is derived
+// from the bucket counts at snapshot time, so the cumulative +Inf bucket and
+// the count always agree even when the snapshot races concurrent Observes.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts[i] holds the observations in
+	// bucket i (NOT cumulative), with Counts[len(Bounds)] the +Inf overflow.
+	Bounds []float64
+	Counts []int64
+	// Count is the total number of observations (the sum of Counts).
+	Count int64
+	// Sum is the running total of observed values. Bucket and sum are updated
+	// independently, so during a concurrent Observe a snapshot may see one
+	// side before the other; the skew is at most the in-flight observations.
+	Sum float64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the snapshot's
+// buckets by linear interpolation within the winning bucket, the same way
+// Prometheus' histogram_quantile does. It returns NaN for an empty snapshot;
+// estimates in the +Inf bucket clamp to the last finite bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			if i >= len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			if c == 0 {
+				return hi
+			}
+			frac := (rank - float64(cum-c)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

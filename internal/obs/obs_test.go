@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Counter.Value = %d, want 5", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative Counter.Add did not panic")
+			}
+		}()
+		c.Add(-1)
+	}()
+
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("Gauge.Value = %d, want 4", got)
+	}
+	g.SetMax(2)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("SetMax lowered gauge to %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("SetMax = %d, want 9", got)
+	}
+}
+
+func TestHistogramObserveSnapshot(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100, math.NaN()} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("Count = %d, want 5 (NaN dropped)", s.Count)
+	}
+	want := []int64{2, 1, 1, 1} // <=1: {0.5, 1}; <=2: {1.5}; <=4: {3}; +Inf: {100}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("Counts[%d] = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if math.Abs(s.Sum-106) > 1e-12 {
+		t.Fatalf("Sum = %g, want 106", s.Sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5) // all in first bucket
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q < 0 || q > 1 {
+		t.Fatalf("Quantile(0.5) = %g, want within first bucket [0,1]", q)
+	}
+	if q := s.Quantile(1); q != 1 {
+		t.Fatalf("Quantile(1) = %g, want 1 (first bucket upper bound)", q)
+	}
+	empty := NewHistogram(nil).Snapshot()
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("Quantile on empty histogram should be NaN")
+	}
+	over := NewHistogram([]float64{1})
+	over.Observe(50)
+	if q := over.Snapshot().Quantile(0.99); q != 1 {
+		t.Fatalf("+Inf-bucket quantile = %g, want clamp to last bound 1", q)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestRegistryDuplicateAndInvalidNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "fine")
+	for name, fn := range map[string]func(){
+		"duplicate":    func() { r.Counter("ok_total", "again") },
+		"invalid name": func() { r.Counter("bad-name", "dash") },
+		"bad label":    func() { r.CounterVec("v_total", "h", "bad-label") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s registration did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestVecSeriesIdentity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "requests", "op")
+	v.With("lu").Inc()
+	v.With("lu").Inc()
+	v.With("qr").Inc()
+	snap := r.Gather()
+	if len(snap.Families) != 1 || len(snap.Families[0].Series) != 2 {
+		t.Fatalf("unexpected snapshot shape: %+v", snap)
+	}
+	// Sorted by label value: lu before qr.
+	if got := snap.Families[0].Series[0]; got.LabelValues[0] != "lu" || got.Value != 2 {
+		t.Fatalf("lu series = %+v, want value 2", got)
+	}
+	if got := snap.Families[0].Series[1]; got.LabelValues[0] != "qr" || got.Value != 1 {
+		t.Fatalf("qr series = %+v, want value 1", got)
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := 41.0
+	r.CounterFunc("derived_total", "from elsewhere", func() float64 { return n })
+	r.GaugeFunc("depth", "live depth", func() float64 { return -2 })
+	n++
+	snap := r.Gather()
+	if got := snap.Families[0].Series[0].Value; got != 42 {
+		t.Fatalf("CounterFunc value = %g, want 42 (read at Gather)", got)
+	}
+	if got := snap.Families[1].Series[0].Value; got != -2 {
+		t.Fatalf("GaugeFunc value = %g, want -2", got)
+	}
+}
+
+// TestExpositionRoundTrip is the satellite-mandated encoder test: everything
+// the encoder writes must satisfy the strict parser, and the parsed values
+// must match what was recorded.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plain_total", "a plain counter").Add(3)
+	r.Gauge("in_flight", "current in-flight").Set(-1)
+	v := r.CounterVec("http_requests_total", "requests by op and status", "op", "status")
+	v.With("lu", "200").Add(10)
+	v.With("qr", "429").Inc()
+	h := r.HistogramVec("request_seconds", "latency with \"quotes\" and \\slash\nnewline", nil, "op")
+	for i := 0; i < 50; i++ {
+		h.With("lu").Observe(float64(i) / 100)
+	}
+	h.With("weird\"op\\x").Observe(0.2)
+	r.Histogram("empty_seconds", "never observed", []float64{1, 2})
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	fams, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseText rejected encoder output: %v\n%s", err, b.String())
+	}
+	if len(fams) != 5 {
+		t.Fatalf("parsed %d families, want 5", len(fams))
+	}
+	byName := map[string]*ParsedFamily{}
+	for i := range fams {
+		byName[fams[i].Name] = &fams[i]
+	}
+	if f := byName["plain_total"]; f == nil || f.Type != TypeCounter || f.Samples[0].Value != 3 {
+		t.Fatalf("plain_total mismatch: %+v", f)
+	}
+	if f := byName["in_flight"]; f == nil || f.Type != TypeGauge || f.Samples[0].Value != -1 {
+		t.Fatalf("in_flight mismatch: %+v", f)
+	}
+	req := byName["http_requests_total"]
+	if req == nil || len(req.Samples) != 2 {
+		t.Fatalf("http_requests_total mismatch: %+v", req)
+	}
+	for _, s := range req.Samples {
+		if s.Label("op") == "lu" && (s.Label("status") != "200" || s.Value != 10) {
+			t.Fatalf("lu sample mismatch: %+v", s)
+		}
+	}
+	lat := byName["request_seconds"]
+	if lat == nil || !strings.Contains(lat.Help, "\"quotes\"") || !strings.Contains(lat.Help, "\\n") {
+		t.Fatalf("help escaping lost: %+v", lat)
+	}
+	var counts, sums int
+	for _, s := range lat.Samples {
+		if s.Name == "request_seconds_count" {
+			counts++
+			switch s.Label("op") {
+			case "lu":
+				if s.Value != 50 {
+					t.Fatalf("lu _count = %g, want 50", s.Value)
+				}
+			case "weird\"op\\x":
+				if s.Value != 1 {
+					t.Fatalf("escaped-label _count = %g, want 1", s.Value)
+				}
+			default:
+				t.Fatalf("unexpected op %q", s.Label("op"))
+			}
+		}
+		if s.Name == "request_seconds_sum" {
+			sums++
+		}
+	}
+	if counts != 2 || sums != 2 {
+		t.Fatalf("got %d _count / %d _sum samples, want 2/2", counts, sums)
+	}
+	if f := byName["empty_seconds"]; f == nil || len(f.Samples) != 5 {
+		// 2 finite buckets + +Inf + _sum + _count even with zero observations.
+		t.Fatalf("empty histogram exposition mismatch: %+v", f)
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "orphan_total 3\n",
+		"TYPE without HELP":   "# TYPE x counter\nx 1\n",
+		"duplicate series": "# HELP x h\n# TYPE x counter\n" +
+			"x{op=\"a\"} 1\nx{op=\"a\"} 2\n",
+		"negative counter": "# HELP x h\n# TYPE x counter\nx -1\n",
+		"non-monotone buckets": "# HELP h h\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n" +
+			"h_sum 1\nh_count 5\n",
+		"missing +Inf": "# HELP h h\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"count mismatch": "# HELP h h\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 6\n",
+		"missing sum": "# HELP h h\n# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 0\nh_count 0\n",
+		"bad value":      "# HELP x h\n# TYPE x gauge\nx pants\n",
+		"unknown type":   "# HELP x h\n# TYPE x summary\nx 1\n",
+		"trailing junk":  "# HELP x h\n# TYPE x gauge\nx 1 1700000000\n",
+		"unclosed label": "# HELP x h\n# TYPE x gauge\nx{op=\"a 1\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: ParseText accepted malformed input:\n%s", name, text)
+		}
+	}
+}
+
+// TestConcurrentObserveGather hammers one histogram and one vec from many
+// goroutines while gathering; the race detector checks the synchronization
+// and the final snapshot checks no observation was lost.
+func TestConcurrentObserveGather(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", nil)
+	v := r.CounterVec("ops_total", "ops", "op")
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			op := string(rune('a' + w%4))
+			for i := 0; i < perW; i++ {
+				h.Observe(float64(i) * 1e-6)
+				v.With(op).Inc()
+				if i%500 == 0 {
+					snap := r.Gather()
+					// Mid-burst invariant: derived Count equals the bucket sum
+					// by construction; spot-check it is non-decreasing-sane.
+					hs := snap.Families[0].Series[0].Hist
+					var sum int64
+					for _, c := range hs.Counts {
+						sum += c
+					}
+					if sum != hs.Count {
+						t.Errorf("Count %d != bucket sum %d", hs.Count, sum)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perW {
+		t.Fatalf("histogram Count = %d, want %d", s.Count, workers*perW)
+	}
+	var total int64
+	for _, fam := range r.Gather().Families {
+		if fam.Name == "ops_total" {
+			for _, ser := range fam.Series {
+				total += int64(ser.Value)
+			}
+		}
+	}
+	if total != workers*perW {
+		t.Fatalf("ops_total sum = %d, want %d", total, workers*perW)
+	}
+}

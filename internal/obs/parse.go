@@ -1,0 +1,379 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// parse.go is the strict side of the exposition round trip: a validating
+// parser for the Prometheus text format that the tests (and cmd/promlint)
+// run over everything the encoder emits. It is deliberately stricter than
+// a scraping Prometheus server — HELP and TYPE are mandatory, histogram
+// buckets must be cumulative and agree with _count, and duplicate series
+// are errors — because its job is to fail the build on malformed
+// exposition, not to tolerate it.
+
+// ParsedSample is one sample line, with labels in appearance order.
+type ParsedSample struct {
+	Name        string // full sample name, including _bucket/_sum/_count suffixes
+	LabelNames  []string
+	LabelValues []string
+	Value       float64
+}
+
+// ParsedFamily is one metric family reassembled from its HELP, TYPE and
+// sample lines.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    MetricType
+	Samples []ParsedSample
+}
+
+// Label returns the sample's value for the named label, or "".
+func (s *ParsedSample) Label(name string) string {
+	for i, n := range s.LabelNames {
+		if n == name {
+			return s.LabelValues[i]
+		}
+	}
+	return ""
+}
+
+// ParseText parses and validates a text exposition. It returns the families
+// in order of appearance, or the first validation error with its line
+// number. The checks, beyond line-grammar:
+//
+//   - every sample belongs to a family with both # HELP and # TYPE
+//   - no family or series appears twice
+//   - counter and gauge samples are single plain lines; counters are >= 0
+//   - each histogram series has _bucket lines with cumulative
+//     (non-decreasing) counts over strictly increasing le bounds, ends in an
+//     le="+Inf" bucket, and carries exactly one _sum and one _count whose
+//     count equals the +Inf bucket
+func ParseText(r io.Reader) ([]ParsedFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	var fams []ParsedFamily
+	byName := make(map[string]*ParsedFamily)
+	help := make(map[string]string)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, h, _ := strings.Cut(rest, " ")
+			if name == "" {
+				return nil, fmt.Errorf("line %d: HELP with no metric name", lineNo)
+			}
+			if _, dup := help[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+			}
+			help[name] = h
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, _ := strings.Cut(rest, " ")
+			switch MetricType(typ) {
+			case TypeCounter, TypeGauge, TypeHistogram:
+			default:
+				return nil, fmt.Errorf("line %d: unknown TYPE %q for %q", lineNo, typ, name)
+			}
+			if _, dup := byName[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			h, ok := help[name]
+			if !ok {
+				return nil, fmt.Errorf("line %d: TYPE %s without preceding HELP", lineNo, name)
+			}
+			fams = append(fams, ParsedFamily{Name: name, Help: h, Type: MetricType(typ)})
+			byName[name] = &fams[len(fams)-1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		sample, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := byName[sample.Name]
+		if fam == nil {
+			// Histogram samples attach to the base family name.
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if base, ok := strings.CutSuffix(sample.Name, suf); ok {
+					if f := byName[base]; f != nil && f.Type == TypeHistogram {
+						fam = f
+						break
+					}
+				}
+			}
+		}
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, sample.Name)
+		}
+		fam.Samples = append(fam.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := range fams {
+		if err := validateFamily(&fams[i]); err != nil {
+			return nil, err
+		}
+	}
+	return fams, nil
+}
+
+// parseSampleLine parses `name{label="v",...} value`.
+func parseSampleLine(line string) (ParsedSample, error) {
+	var s ParsedSample
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, &s)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A timestamp after the value would split here; the encoder never emits
+	// one, and the strict parser rejects it.
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		return s, fmt.Errorf("expected exactly one value after %q, got %q", s.Name, rest)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes a {a="b",...} block at the start of rest, filling
+// the sample's labels, and returns the index just past the closing brace.
+func parseLabels(rest string, s *ParsedSample) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(rest) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if rest[i] == '}' {
+			return i + 1, nil
+		}
+		j := i
+		for j < len(rest) && rest[j] != '=' {
+			j++
+		}
+		name := rest[i:j]
+		if !validLabelName(name) {
+			return 0, fmt.Errorf("invalid label name %q", name)
+		}
+		if j+1 >= len(rest) || rest[j+1] != '"' {
+			return 0, fmt.Errorf("label %q missing quoted value", name)
+		}
+		val, next, err := parseQuoted(rest, j+1)
+		if err != nil {
+			return 0, err
+		}
+		s.LabelNames = append(s.LabelNames, name)
+		s.LabelValues = append(s.LabelValues, val)
+		i = next
+		if i < len(rest) && rest[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parseQuoted reads a double-quoted, backslash-escaped string starting at
+// rest[start] == '"', returning the unescaped value and the index after the
+// closing quote.
+func parseQuoted(rest string, start int) (string, int, error) {
+	var b strings.Builder
+	i := start + 1
+	for i < len(rest) {
+		c := rest[i]
+		switch c {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(rest) {
+				return "", 0, fmt.Errorf("dangling escape in label value")
+			}
+			switch rest[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("bad escape \\%c in label value", rest[i+1])
+			}
+			i += 2
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validateFamily applies the per-type consistency checks.
+func validateFamily(f *ParsedFamily) error {
+	switch f.Type {
+	case TypeCounter, TypeGauge:
+		return validateScalar(f)
+	case TypeHistogram:
+		return validateHistogram(f)
+	}
+	return nil
+}
+
+func validateScalar(f *ParsedFamily) error {
+	seen := make(map[string]bool)
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		if s.Name != f.Name {
+			return fmt.Errorf("%s: unexpected sample name %q for %s family", f.Name, s.Name, f.Type)
+		}
+		key := seriesKey(s, "")
+		if seen[key] {
+			return fmt.Errorf("%s: duplicate series %s", f.Name, key)
+		}
+		seen[key] = true
+		if f.Type == TypeCounter && s.Value < 0 {
+			return fmt.Errorf("%s: counter sample %s is negative (%g)", f.Name, key, s.Value)
+		}
+	}
+	return nil
+}
+
+// histSeries accumulates one labeled histogram series during validation.
+type histSeries struct {
+	bounds []float64
+	counts []float64
+	sum    *float64
+	count  *float64
+}
+
+func validateHistogram(f *ParsedFamily) error {
+	series := make(map[string]*histSeries)
+	var order []string
+	get := func(s *ParsedSample) *histSeries {
+		key := seriesKey(s, "le")
+		hs := series[key]
+		if hs == nil {
+			hs = &histSeries{}
+			series[key] = hs
+			order = append(order, key)
+		}
+		return hs
+	}
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		switch s.Name {
+		case f.Name + "_bucket":
+			le := s.Label("le")
+			if le == "" {
+				return fmt.Errorf("%s: _bucket sample without le label", f.Name)
+			}
+			bound, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q: %v", f.Name, le, err)
+			}
+			hs := get(s)
+			hs.bounds = append(hs.bounds, bound)
+			hs.counts = append(hs.counts, s.Value)
+		case f.Name + "_sum":
+			hs := get(s)
+			if hs.sum != nil {
+				return fmt.Errorf("%s: duplicate _sum for series %s", f.Name, seriesKey(s, "le"))
+			}
+			v := s.Value
+			hs.sum = &v
+		case f.Name + "_count":
+			hs := get(s)
+			if hs.count != nil {
+				return fmt.Errorf("%s: duplicate _count for series %s", f.Name, seriesKey(s, "le"))
+			}
+			v := s.Value
+			hs.count = &v
+		default:
+			return fmt.Errorf("%s: unexpected sample name %q in histogram family", f.Name, s.Name)
+		}
+	}
+	for _, key := range order {
+		hs := series[key]
+		if len(hs.bounds) == 0 {
+			return fmt.Errorf("%s%s: histogram series with no _bucket lines", f.Name, key)
+		}
+		for i := 1; i < len(hs.bounds); i++ {
+			if hs.bounds[i] <= hs.bounds[i-1] {
+				return fmt.Errorf("%s%s: le bounds not increasing at %g", f.Name, key, hs.bounds[i])
+			}
+			if hs.counts[i] < hs.counts[i-1] {
+				return fmt.Errorf("%s%s: bucket counts not cumulative at le=%g (%g < %g)",
+					f.Name, key, hs.bounds[i], hs.counts[i], hs.counts[i-1])
+			}
+		}
+		last := hs.bounds[len(hs.bounds)-1]
+		if !math.IsInf(last, 1) {
+			return fmt.Errorf("%s%s: histogram missing le=\"+Inf\" bucket", f.Name, key)
+		}
+		if hs.sum == nil {
+			return fmt.Errorf("%s%s: histogram missing _sum", f.Name, key)
+		}
+		if hs.count == nil {
+			return fmt.Errorf("%s%s: histogram missing _count", f.Name, key)
+		}
+		if inf := hs.counts[len(hs.counts)-1]; *hs.count != inf {
+			return fmt.Errorf("%s%s: _count %g != +Inf bucket %g", f.Name, key, *hs.count, inf)
+		}
+	}
+	return nil
+}
+
+// seriesKey canonicalizes a sample's labels (minus an excluded label, for
+// histogram le) into a map key, sorted so label order doesn't matter.
+func seriesKey(s *ParsedSample, exclude string) string {
+	pairs := make([]string, 0, len(s.LabelNames))
+	for i, n := range s.LabelNames {
+		if n == exclude {
+			continue
+		}
+		pairs = append(pairs, n+"="+strconv.Quote(s.LabelValues[i]))
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, ",") + "}"
+}

@@ -1,0 +1,315 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MetricType is the exposition type of a metric family.
+type MetricType string
+
+// The metric types the registry supports (and the encoder emits).
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// Registry is an ordered collection of metric families. Registration (the
+// Counter/Gauge/Histogram/*Vec/*Func constructors) takes a lock and panics on
+// an invalid or duplicate name — both are programmer errors, caught at
+// startup. Metric updates after registration never touch the registry lock.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// family is one named metric with its help, type and (for Vecs) label
+// dimensions. Unlabeled metrics hold a single series with no label values.
+type family struct {
+	name       string
+	help       string
+	typ        MetricType
+	labelNames []string
+	buckets    []float64 // histograms only
+
+	mu     sync.Mutex
+	series []*series
+	byKey  map[string]*series
+
+	// fn, when non-nil, makes this a Func metric: the value is read at
+	// Gather time instead of being stored.
+	fn func() float64
+}
+
+// series is one labeled instance of a family.
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// register validates and inserts a family, panicking on duplicates — two
+// subsystems claiming one name would silently sum in the exposition.
+func (r *Registry) register(f *family) {
+	if !validMetricName(f.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", f.name))
+	}
+	for _, l := range f.labelNames {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, f.name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", f.name))
+	}
+	f.byKey = make(map[string]*series)
+	r.byName[f.name] = f
+	r.families = append(r.families, f)
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := &family{name: name, help: help, typ: TypeCounter}
+	r.register(f)
+	return f.get(nil).counter
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := &family{name: name, help: help, typ: TypeGauge}
+	r.register(f)
+	return f.get(nil).gauge
+}
+
+// Histogram registers and returns an unlabeled histogram with the given
+// bucket upper bounds (nil means DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := &family{name: name, help: help, typ: TypeHistogram, buckets: buckets}
+	r.register(f)
+	return f.get(nil).hist
+}
+
+// CounterFunc registers a counter whose value is produced by fn at Gather
+// time — for exposing a counter another subsystem already maintains (e.g.
+// the pool's completed-task count) without double accounting.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: TypeCounter, fn: fn})
+}
+
+// GaugeFunc registers a gauge whose value is produced by fn at Gather time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: TypeGauge, fn: fn})
+}
+
+// CounterVec is a counter family with label dimensions.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	if len(labelNames) == 0 {
+		panic(fmt.Sprintf("obs: CounterVec %q needs at least one label", name))
+	}
+	f := &family{name: name, help: help, typ: TypeCounter, labelNames: labelNames}
+	r.register(f)
+	return &CounterVec{f}
+}
+
+// With returns the counter for the given label values (one per label name,
+// in registration order), creating it on first use.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.get(labelValues).counter
+}
+
+// GaugeVec is a gauge family with label dimensions.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	if len(labelNames) == 0 {
+		panic(fmt.Sprintf("obs: GaugeVec %q needs at least one label", name))
+	}
+	f := &family{name: name, help: help, typ: TypeGauge, labelNames: labelNames}
+	r.register(f)
+	return &GaugeVec{f}
+}
+
+// With returns the gauge for the given label values, creating it on first
+// use.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.get(labelValues).gauge
+}
+
+// HistogramVec is a histogram family with label dimensions.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family with shared buckets
+// (nil means DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if len(labelNames) == 0 {
+		panic(fmt.Sprintf("obs: HistogramVec %q needs at least one label", name))
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := &family{name: name, help: help, typ: TypeHistogram, labelNames: labelNames, buckets: buckets}
+	r.register(f)
+	return &HistogramVec{f}
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.get(labelValues).hist
+}
+
+// get returns the series for the label values, creating it on first use.
+// The first Gather (or With) fixes a series in place; series are never
+// removed, matching Prometheus' model of monotone series sets.
+func (f *family) get(labelValues []string) *series {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.byKey[key]; ok {
+		return s
+	}
+	s := &series{labelValues: append([]string(nil), labelValues...)}
+	switch f.typ {
+	case TypeCounter:
+		s.counter = &Counter{}
+	case TypeGauge:
+		s.gauge = &Gauge{}
+	case TypeHistogram:
+		s.hist = NewHistogram(f.buckets)
+	}
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+	return s
+}
+
+// Snapshot is a point-in-time copy of a registry's families, the unit both
+// the text encoder and consistency-sensitive scrapers work from: gather
+// once, then format or inspect without racing further updates.
+type Snapshot struct {
+	Families []FamilySnapshot
+}
+
+// FamilySnapshot is one family's state at Gather time.
+type FamilySnapshot struct {
+	Name       string
+	Help       string
+	Type       MetricType
+	LabelNames []string
+	Series     []SeriesSnapshot
+}
+
+// SeriesSnapshot is one series' state at Gather time. Value holds counters
+// and gauges; Hist holds histograms.
+type SeriesSnapshot struct {
+	LabelValues []string
+	Value       float64
+	Hist        *HistogramSnapshot
+}
+
+// Gather copies every family into a Snapshot. Families appear in
+// registration order; series within a family are sorted by label values so
+// the exposition is deterministic.
+func (r *Registry) Gather() *Snapshot {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	snap := &Snapshot{Families: make([]FamilySnapshot, 0, len(fams))}
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.typ, LabelNames: f.labelNames}
+		if f.fn != nil {
+			fs.Series = []SeriesSnapshot{{Value: f.fn()}}
+			snap.Families = append(snap.Families, fs)
+			continue
+		}
+		f.mu.Lock()
+		series := append([]*series(nil), f.series...)
+		f.mu.Unlock()
+		for _, s := range series {
+			ss := SeriesSnapshot{LabelValues: s.labelValues}
+			switch {
+			case s.counter != nil:
+				ss.Value = float64(s.counter.Value())
+			case s.gauge != nil:
+				ss.Value = float64(s.gauge.Value())
+			case s.hist != nil:
+				h := s.hist.Snapshot()
+				ss.Hist = &h
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		sort.Slice(fs.Series, func(i, j int) bool {
+			return lessLabels(fs.Series[i].LabelValues, fs.Series[j].LabelValues)
+		})
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// lessLabels orders label-value tuples lexicographically.
+func lessLabels(a, b []string) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// validMetricName reports whether name matches the Prometheus metric name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -302,7 +302,8 @@ func TestStealReleasesStolenSlot(t *testing.T) {
 	t2 := &Task{ID: 2}
 	backing := []*Task{t1, t2}
 	s := &Submission{deques: [][]*Task{backing, nil}}
-	got := s.take(1, 2, rand.New(rand.NewSource(1))) // worker 1's deque is empty: steal from 0
+	p := &Pool{workers: 2, metrics: newPoolMetrics(2)}
+	got := s.take(p, 1, rand.New(rand.NewSource(1))) // worker 1's deque is empty: steal from 0
 	if got != t1 {
 		t.Fatalf("thief stole task %v, want %v", got, t1)
 	}

@@ -88,6 +88,10 @@ type Pool struct {
 	// watchdog can detect a wedged scheduler by watching it stand still.
 	completed atomic.Uint64
 
+	// metrics is the pool's always-on instrumentation (see metrics.go);
+	// its mu-suffixed counters are guarded by mu below.
+	metrics *poolMetrics
+
 	mu          sync.Mutex
 	cond        *sync.Cond
 	subs        []*Submission // submissions with unfinished tasks
@@ -103,7 +107,7 @@ func NewPool(workers int) *Pool {
 	if workers < 1 {
 		panic(fmt.Sprintf("sched: pool with %d workers", workers))
 	}
-	p := &Pool{workers: workers}
+	p := &Pool{workers: workers, metrics: newPoolMetrics(workers)}
 	p.cond = sync.NewCond(&p.mu)
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -299,6 +303,7 @@ func (p *Pool) SubmitCtx(ctx context.Context, g *Graph, opt SubmitOptions) (*Sub
 			initial = append(initial, t)
 		}
 	}
+	nready := initial.Len()
 	heap.Init(&initial)
 	if opt.Policy == Stealing {
 		// Seed the deques with the initial ready set in priority order,
@@ -314,6 +319,8 @@ func (p *Pool) SubmitCtx(ctx context.Context, g *Graph, opt SubmitOptions) (*Sub
 	} else {
 		s.ready = initial
 	}
+	p.metrics.submissions++
+	p.metrics.readyDelta(int64(nready))
 	p.subs = append(p.subs, s)
 	p.mu.Unlock()
 	p.cond.Broadcast()
@@ -367,14 +374,17 @@ func (s *Submission) Wait() ([]Event, error) {
 func (s *Submission) Done() <-chan struct{} { return s.done }
 
 // take pops one ready task for the given worker, or nil. Caller holds
-// pool.mu.
-func (s *Submission) take(worker, workers int, rng *rand.Rand) *Task {
+// pool.mu (which also guards the steal/depth counters updated here).
+func (s *Submission) take(p *Pool, worker int, rng *rand.Rand) *Task {
+	workers := p.workers
 	if s.deques != nil {
 		if own := s.deques[worker]; len(own) > 0 {
 			t := own[len(own)-1] // LIFO: depth first, cache friendly
 			s.deques[worker] = own[:len(own)-1]
+			p.metrics.readyDelta(-1)
 			return t
 		}
+		p.metrics.stealAttempts++
 		at := worker
 		if workers > 1 {
 			at = int((int64(rng.Intn(workers)) + s.opt.Seed) % int64(workers))
@@ -394,6 +404,8 @@ func (s *Submission) take(worker, workers int, rng *rand.Rand) *Task {
 				// does not stay reachable through it.
 				q[0] = nil
 				s.deques[v] = q[1:]
+				p.metrics.stealSuccesses++
+				p.metrics.readyDelta(-1)
 				return t
 			}
 		}
@@ -402,11 +414,13 @@ func (s *Submission) take(worker, workers int, rng *rand.Rand) *Task {
 	if len(s.ready) == 0 {
 		return nil
 	}
+	p.metrics.readyDelta(-1)
 	return heap.Pop(&s.ready).(*Task)
 }
 
 // push makes a newly ready task available. Caller holds pool.mu.
-func (s *Submission) push(t *Task, worker int) {
+func (s *Submission) push(p *Pool, t *Task, worker int) {
+	p.metrics.readyDelta(1)
 	if s.deques != nil {
 		s.deques[worker] = append(s.deques[worker], t)
 		return
@@ -420,7 +434,7 @@ func (p *Pool) takeLocked(worker int, rng *rand.Rand) (*Submission, *Task) {
 	n := len(p.subs)
 	for i := 0; i < n; i++ {
 		s := p.subs[(p.rr+i)%n]
-		if t := s.take(worker, p.workers, rng); t != nil {
+		if t := s.take(p, worker, rng); t != nil {
 			p.rr = (p.rr + i + 1) % n
 			return s, t
 		}
@@ -460,12 +474,16 @@ func (p *Pool) worker(id int) {
 		p.mu.Unlock()
 
 		t0 := time.Since(s.start)
+		ran := t.Run != nil && !skip
 		var failure error
-		if t.Run != nil && !skip {
+		if ran {
 			failure = runTask(t, ic, id)
 		}
 		t1 := time.Since(s.start)
 		p.completed.Add(1)
+		if ran {
+			p.metrics.taskDone(id, t.Kind, t1-t0)
+		}
 
 		p.mu.Lock()
 		// Tasks skipped while draining a failed or cancelled submission never
@@ -480,7 +498,7 @@ func (p *Pool) worker(id int) {
 		for _, succ := range t.succs {
 			s.deps[succ]--
 			if s.deps[succ] == 0 {
-				s.push(s.g.tasks[succ], id)
+				s.push(p, s.g.tasks[succ], id)
 				woke = true
 			}
 		}

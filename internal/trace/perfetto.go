@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// perfetto.go exports a Trace in the Chrome trace-event JSON format, which
+// Perfetto (ui.perfetto.dev) and chrome://tracing both load directly. Each
+// span becomes one complete ("X") event on a track per worker, so a CALU
+// run renders as the paper's Fig. 3-4 timelines with full zoom/query
+// support instead of an ASCII Gantt.
+
+// chromeTraceEvent is one event in the trace-event format. Only the fields
+// the complete-event phase uses are emitted.
+type chromeTraceEvent struct {
+	Name string `json:"name"`
+	// Cat carries the task kind (P/L/U/S) so Perfetto can filter by it.
+	Cat string `json:"cat"`
+	// Ph is the phase; "X" is a complete event with explicit duration, "M"
+	// metadata (process/thread names).
+	Ph string `json:"ph"`
+	// Ts and Dur are in microseconds, per the format.
+	Ts  float64 `json:"ts"`
+	Dur float64 `json:"dur,omitempty"`
+	Pid int     `json:"pid"`
+	Tid int     `json:"tid"`
+	// Args carries span details shown in the Perfetto detail pane.
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTraceFile struct {
+	// DisplayTimeUnit is the UI default zoom unit, not the event unit.
+	DisplayTimeUnit string             `json:"displayTimeUnit"`
+	TraceEvents     []chromeTraceEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace encodes the trace as Chrome trace-event JSON: one "X"
+// event per span (pid 0, tid = worker), preceded by metadata events naming
+// the process and each worker track. onPath, when non-nil, marks the task
+// IDs on the critical path so the exported events carry an on_critical_path
+// arg Perfetto queries can filter on; pass nil to skip the annotation.
+func (t *Trace) WriteChromeTrace(w io.Writer, onPath map[int]bool) error {
+	f := chromeTraceFile{DisplayTimeUnit: "ms"}
+	f.TraceEvents = append(f.TraceEvents, chromeTraceEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "sched.Pool"},
+	})
+	for wk := 0; wk < t.Workers; wk++ {
+		f.TraceEvents = append(f.TraceEvents, chromeTraceEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: wk,
+			Args: map[string]any{"name": workerName(wk)},
+		})
+	}
+	for _, sp := range t.Spans {
+		name := sp.Label
+		if name == "" {
+			name = sp.Kind.String()
+		}
+		args := map[string]any{
+			"task_id": sp.TaskID,
+			"kind":    sp.Kind.String(),
+		}
+		if onPath != nil {
+			args["on_critical_path"] = onPath[sp.TaskID]
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeTraceEvent{
+			Name: name,
+			Cat:  sp.Kind.String(),
+			Ph:   "X",
+			Ts:   sp.Start * 1e6, // seconds -> microseconds
+			Dur:  (sp.End - sp.Start) * 1e6,
+			Pid:  0,
+			Tid:  sp.Worker,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// OnPathSet converts a critical path into the lookup WriteChromeTrace
+// takes.
+func (cp *CriticalPath) OnPathSet() map[int]bool {
+	m := make(map[int]bool, len(cp.Path))
+	for _, id := range cp.Path {
+		m[id] = true
+	}
+	return m
+}
+
+func workerName(w int) string {
+	return fmt.Sprintf("worker %d", w)
+}

@@ -17,6 +17,9 @@ import (
 
 // Span is one task execution on one worker, in seconds.
 type Span struct {
+	// TaskID ties the span back to its graph task, letting the critical-path
+	// analyzer and the Perfetto exporter join timing with dependencies.
+	TaskID int
 	Worker int
 	Start  float64
 	End    float64
@@ -38,6 +41,7 @@ func FromSched(events []sched.Event, g *sched.Graph, workers int) *Trace {
 	for _, e := range events {
 		task := g.Task(e.TaskID)
 		s := Span{
+			TaskID: e.TaskID,
 			Worker: e.Worker,
 			Start:  e.Start.Seconds(),
 			End:    e.End.Seconds(),
@@ -58,7 +62,7 @@ func FromSim(events []simsched.Event, g *sched.Graph, cores int) *Trace {
 	t := &Trace{Workers: cores}
 	for _, e := range events {
 		task := g.Task(e.TaskID)
-		s := Span{Worker: e.Core, Start: e.Start, End: e.End, Kind: task.Kind, Label: task.Label}
+		s := Span{TaskID: e.TaskID, Worker: e.Core, Start: e.Start, End: e.End, Kind: task.Kind, Label: task.Label}
 		t.Spans = append(t.Spans, s)
 		if s.End > t.Makespan {
 			t.Makespan = s.End

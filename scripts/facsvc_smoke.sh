@@ -68,11 +68,19 @@ code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
 
 echo "== metrics reconcile =="
 curl -fsS "$BASE/metrics" >"$WORKDIR/metrics.txt"
+# Strict Prometheus exposition check: format validity plus required families
+# (cmd/promlint exits 1 on either violation).
+go run ./cmd/promlint \
+    -require facsvc_engine_shed_total,facsvc_engine_request_seconds,facsvc_http_requests_total,facsvc_http_requests_started_total,facsvc_http_request_seconds \
+    <"$WORKDIR/metrics.txt"
 grep -q 'facsvc_engine_cache_hits_total 1' "$WORKDIR/metrics.txt"
 grep -q 'facsvc_http_requests_total{op="lu",status="200"} 3' "$WORKDIR/metrics.txt"
 grep -q 'facsvc_http_requests_total{op="lu",status="400"} 1' "$WORKDIR/metrics.txt"
 grep -q 'facsvc_http_requests_total{op="qr",status="200"} 1' "$WORKDIR/metrics.txt"
 grep -q 'facsvc_engine_shed_total 0' "$WORKDIR/metrics.txt"
+# 3 well-formed LU requests entered the engine; the malformed one failed
+# decoding before the started counter.
+grep -q 'facsvc_http_requests_started_total{op="lu"} 3' "$WORKDIR/metrics.txt"
 
 echo "== SIGTERM drain =="
 kill -TERM "$SRV_PID"
