@@ -1,20 +1,32 @@
 // Command calint is the project's invariant linter: it loads and
 // type-checks in-module packages from source (stdlib only — no analysis
-// framework dependency) and runs the internal/analysis suite over them,
-// enforcing the executor stack's scratch-release, ctx-propagation,
-// error-contract and goroutine-hygiene rules that generic vet/staticcheck
-// cannot know. See doc/ANALYSIS.md.
+// framework dependency) and runs the internal/analysis suite over them —
+// the per-package checks (scratch-release, error-contract,
+// goroutine-hygiene, metrics-hygiene) plus the whole-program dataflow
+// checks (ctx-propagation, lock-order, hotpath-alloc, atomic-discipline)
+// built on the CFG and call-graph layer. See doc/ANALYSIS.md.
 //
 // Usage:
 //
 //	go run ./cmd/calint ./...                 # whole module (CI entry point)
 //	go run ./cmd/calint ./internal/sched      # one package directory
-//	go run ./cmd/calint -checks error-contract,ctx-propagation ./...
+//	go run ./cmd/calint -checks error-contract,lock-order ./...
+//	go run ./cmd/calint -explain hotpath-alloc
+//	go run ./cmd/calint -baseline .calint-baseline -sarif calint.sarif ./...
+//	go run ./cmd/calint -write-baseline .calint-baseline ./...
 //	go run ./cmd/calint -as repro/internal/core ./internal/analysis/testdata/src/errcontract
 //
-// Exit status: 0 with no findings, 1 when diagnostics were reported, 2 on
-// usage or load errors. Findings can be suppressed at the offending line
-// with `// calint:ignore <check> [-- reason]`.
+// Package directories load in parallel (the loader's type-check cache is
+// shared and concurrency-safe); diagnostics are globally sorted by file,
+// line, column, check and message so output and the baseline are
+// diff-stable. -baseline filters findings through a fingerprinted accept
+// file (entries require a written reason; stale entries are reported on
+// stderr). -sarif writes a SARIF 2.1.0 log of the active findings for
+// GitHub code scanning.
+//
+// Exit status: 0 with no active findings, 1 when diagnostics were
+// reported, 2 on usage or load errors. Findings can be suppressed at the
+// offending line with `// calint:ignore <check> [-- reason]`.
 package main
 
 import (
@@ -22,7 +34,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/analysis"
 )
@@ -36,17 +50,33 @@ func run(args []string) int {
 	list := fs.Bool("list", false, "list the registered checks and exit")
 	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	asPath := fs.String("as", "", "masquerade import path for a single directory argument (fixture testing)")
+	explain := fs.String("explain", "", "print a check's rationale and doc anchor, then exit")
+	sarifPath := fs.String("sarif", "", "write active findings as SARIF 2.1.0 to this file")
+	baselinePath := fs.String("baseline", "", "filter findings through this fingerprinted baseline file")
+	writeBaseline := fs.String("write-baseline", "", "write all findings to this baseline file and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	checks, err := selectChecks(*checksFlag)
+	if *explain != "" {
+		e, ok := analysis.Explain(*explain)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "calint: unknown check %q (have %s)\n", *explain, strings.Join(analysis.CheckNames(), ", "))
+			return 2
+		}
+		fmt.Printf("%s — %s\n\n%s\n\nFull writeup: %s\n", e.Name, e.Doc, e.Rationale, e.Anchor)
+		return 0
+	}
+	pkgChecks, progChecks, err := selectChecks(*checksFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "calint:", err)
 		return 2
 	}
 	if *list {
-		for _, c := range checks {
+		for _, c := range pkgChecks {
 			fmt.Printf("%-20s %s\n", c.Name, c.Doc)
+		}
+		for _, c := range progChecks {
+			fmt.Printf("%-20s %s (whole-program)\n", c.Name, c.Doc)
 		}
 		return 0
 	}
@@ -73,47 +103,148 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "calint: -as requires exactly one directory argument")
 		return 2
 	}
-	exit := 0
-	for _, dir := range dirs {
-		var pkg *analysis.Package
-		var err error
-		if *asPath != "" {
-			pkg, err = loader.LoadAs(dir, *asPath)
-		} else {
-			pkg, err = loader.Load(dir)
-		}
+
+	pkgs, err := loadAll(loader, dirs, *asPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calint:", err)
+		return 2
+	}
+
+	// Per-package checks, then the whole-program suite over everything
+	// loaded, merged and globally re-sorted for diff-stable output.
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, analysis.RunChecks(pkg, pkgChecks)...)
+	}
+	if len(progChecks) > 0 {
+		prog := analysis.BuildProgram(pkgs)
+		diags = append(diags, analysis.RunProgramChecks(prog, progChecks)...)
+	}
+	analysis.SortDiagnostics(diags)
+
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "calint:", err)
 			return 2
 		}
-		for _, d := range analysis.RunChecks(pkg, checks) {
-			fmt.Println(relativize(root, d))
-			exit = 1
+		werr := analysis.WriteBaseline(f, diags, root)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
 		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "calint:", werr)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "calint: wrote %d finding(s) to %s — replace every TODO with a real reason\n", len(diags), *writeBaseline)
+		return 0
+	}
+
+	if *baselinePath != "" {
+		data, err := os.Open(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calint:", err)
+			return 2
+		}
+		entries, perr := analysis.ParseBaseline(data)
+		data.Close()
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "calint:", perr)
+			return 2
+		}
+		active, suppressed, stale := analysis.FilterBaseline(diags, entries, root)
+		diags = active
+		if suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "calint: %d finding(s) suppressed by baseline %s\n", suppressed, *baselinePath)
+		}
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "calint: stale baseline entry %s %s %s (no longer matches anything — delete it)\n", e.Fingerprint, e.Check, e.Loc)
+		}
+	}
+
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calint:", err)
+			return 2
+		}
+		werr := analysis.WriteSARIF(f, diags, root)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "calint:", werr)
+			return 2
+		}
+	}
+
+	exit := 0
+	for _, d := range diags {
+		fmt.Println(relativize(root, d))
+		exit = 1
 	}
 	return exit
 }
 
-// selectChecks resolves the -checks flag against the registry.
-func selectChecks(csv string) ([]*analysis.Check, error) {
-	all := analysis.Checks()
+// loadAll loads every directory, in parallel when there are several; the
+// loader's cache coalesces shared dependencies. Results keep dirs' order.
+func loadAll(loader *analysis.Loader, dirs []string, asPath string) ([]*analysis.Package, error) {
+	pkgs := make([]*analysis.Package, len(dirs))
+	errs := make([]error, len(dirs))
+	sem := make(chan struct{}, max(1, runtime.NumCPU()))
+	var wg sync.WaitGroup
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if asPath != "" {
+				pkgs[i], errs[i] = loader.LoadAs(dir, asPath)
+			} else {
+				pkgs[i], errs[i] = loader.Load(dir)
+			}
+		}(i, dir)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pkgs, nil
+}
+
+// selectChecks resolves the -checks flag against both registries.
+func selectChecks(csv string) ([]*analysis.Check, []*analysis.ProgramCheck, error) {
+	allPkg := analysis.Checks()
+	allProg := analysis.ProgramChecks()
 	if csv == "" {
-		return all, nil
+		return allPkg, allProg, nil
 	}
-	byName := make(map[string]*analysis.Check, len(all))
-	for _, c := range all {
-		byName[c.Name] = c
+	pkgByName := make(map[string]*analysis.Check, len(allPkg))
+	for _, c := range allPkg {
+		pkgByName[c.Name] = c
 	}
-	var out []*analysis.Check
+	progByName := make(map[string]*analysis.ProgramCheck, len(allProg))
+	for _, c := range allProg {
+		progByName[c.Name] = c
+	}
+	var outPkg []*analysis.Check
+	var outProg []*analysis.ProgramCheck
 	for _, name := range strings.Split(csv, ",") {
 		name = strings.TrimSpace(name)
-		c, ok := byName[name]
-		if !ok {
-			return nil, fmt.Errorf("unknown check %q (have %s)", name, strings.Join(analysis.CheckNames(), ", "))
+		if c, ok := pkgByName[name]; ok {
+			outPkg = append(outPkg, c)
+			continue
 		}
-		out = append(out, c)
+		if c, ok := progByName[name]; ok {
+			outProg = append(outProg, c)
+			continue
+		}
+		return nil, nil, fmt.Errorf("unknown check %q (have %s)", name, strings.Join(analysis.CheckNames(), ", "))
 	}
-	return out, nil
+	return outPkg, outProg, nil
 }
 
 // findModuleRoot walks up from the working directory to the nearest go.mod.

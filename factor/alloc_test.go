@@ -1,0 +1,41 @@
+//go:build !race
+
+// The race detector instruments allocations, so the zero-alloc gates only
+// run in the regular test job; the CI alloc-gate step invokes them by name
+// (-run ZeroAlloc).
+
+package factor
+
+import (
+	"context"
+	"testing"
+)
+
+// TestLUCacheHitZeroAlloc pins the content-addressed cache's hit path to
+// zero heap allocations: the [32]byte key is computed through a pooled
+// hasher, the LRU lookup is a map probe on an array key, and the fill
+// closure is never constructed on a resident hit.
+func TestLUCacheHitZeroAlloc(t *testing.T) {
+	eng := NewEngineWithConfig(EngineConfig{Workers: 2, CacheEntries: 4})
+	defer eng.Close()
+	ctx := context.Background()
+	opt := Options{BlockSize: 8}
+	a := Random(64, 64, 3)
+
+	// Fill the cache, then warm the key-hasher pool with a hit.
+	if _, hit, err := eng.LUCachedCtx(ctx, a, opt); err != nil || hit {
+		t.Fatalf("fill: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := eng.LUCachedCtx(ctx, a, opt); err != nil || !hit {
+		t.Fatalf("warmup: hit=%v err=%v", hit, err)
+	}
+
+	avg := testing.AllocsPerRun(50, func() {
+		if _, hit, err := eng.LUCachedCtx(ctx, a, opt); err != nil || !hit {
+			t.Fatalf("measured run: hit=%v err=%v", hit, err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("cache-hit LU allocates %.1f objects per call, want 0", avg)
+	}
+}

@@ -129,6 +129,7 @@ func (b *batcher) flush(items []*batchItem) {
 	}
 	merged := sched.MergeGraphs(graphs...)
 	var runErr error
+	// calint:ignore ctx-propagation -- the merged submission deliberately outlives any single request's ctx (batch-mates share it; see do's doc comment)
 	sub, err := b.e.pool.Submit(merged, sched.SubmitOptions{})
 	if err != nil {
 		runErr = err

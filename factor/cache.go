@@ -13,6 +13,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"math"
 	"sync"
 
@@ -20,10 +21,15 @@ import (
 	"repro/internal/obs"
 )
 
+// ckey is a cache key: a raw sha256 digest. A fixed-size array (rather than
+// a string of the digest bytes) keeps the hit path allocation-free — map
+// lookups on array keys don't materialize anything.
+type ckey [sha256.Size]byte
+
 // cacheEntry is one resident result; val holds a *LUFactorization or
 // *QRFactorization shared by every hit (callers must treat it read-only).
 type cacheEntry struct {
-	key string
+	key ckey
 	val any
 }
 
@@ -40,8 +46,8 @@ type resultCache struct {
 	mu       sync.Mutex
 	cap      int
 	ll       *list.List // front = most recent
-	entries  map[string]*list.Element
-	inflight map[string]*flight
+	entries  map[ckey]*list.Element
+	inflight map[ckey]*flight
 
 	// hits/misses/evictions are the engine's registered cache metrics
 	// (newEngineMetrics); the cache increments them, Stats and /metrics read
@@ -53,19 +59,37 @@ func newResultCache(capacity int, met *engineMetrics) *resultCache {
 	return &resultCache{
 		cap:       capacity,
 		ll:        list.New(),
-		entries:   make(map[string]*list.Element),
-		inflight:  make(map[string]*flight),
+		entries:   make(map[ckey]*list.Element),
+		inflight:  make(map[ckey]*flight),
 		hits:      met.cacheHits,
 		misses:    met.cacheMisses,
 		evictions: met.cacheEvictions,
 	}
 }
 
+// get returns the resident value for key, if any — the allocation-free hit
+// path. The cached entry points call it before constructing the fill
+// closure, so a steady-state hit performs no allocation at all (the
+// AllocsPerRun gate in alloc_test.go pins this).
+func (c *resultCache) get(key ckey) (any, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	v := el.Value.(*cacheEntry).val
+	c.mu.Unlock()
+	c.hits.Inc()
+	return v, true
+}
+
 // do returns the cached value for key, joining an identical in-flight fill
 // when one exists, and otherwise filling via fn. The boolean reports a hit
 // (including joining a fill — the request did not factor). Failed fills are
 // not cached; every joiner of a failed fill gets the leader's error.
-func (c *resultCache) do(ctx context.Context, key string, fn func() (any, error)) (any, bool, error) {
+func (c *resultCache) do(ctx context.Context, key ckey, fn func() (any, error)) (any, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
@@ -110,37 +134,53 @@ func (c *resultCache) do(ctx context.Context, key string, fn func() (any, error)
 	return f.val, false, f.err
 }
 
+// keyHasher is a pooled sha256 state plus the scratch buffers cacheKey
+// writes through; pooling it (and summing into the fixed array) keeps key
+// computation allocation-free after warmup.
+type keyHasher struct {
+	h   hash.Hash
+	w   [8]byte
+	op  [1]byte
+	sum [sha256.Size]byte
+}
+
+func (hs *keyHasher) put(v uint64) {
+	binary.LittleEndian.PutUint64(hs.w[:], v)
+	hs.h.Write(hs.w[:])
+}
+
+var keyHashers = sync.Pool{New: func() any { return &keyHasher{h: sha256.New()} }}
+
 // cacheKey hashes everything that determines a factorization's bits: the
 // operation, the shape, the numeric options (block size, panel threads,
 // tree shape, structured merges, growth guardrail — scheduling-only knobs
 // like Workers or Lookahead are deliberately excluded), and the matrix
 // contents column by column.
-func cacheKey(op byte, a *Matrix, opt core.Options) string {
-	h := sha256.New()
-	var w [8]byte
-	put := func(v uint64) {
-		binary.LittleEndian.PutUint64(w[:], v)
-		h.Write(w[:])
-	}
-	h.Write([]byte{op})
-	put(uint64(a.Rows))
-	put(uint64(a.Cols))
-	put(uint64(opt.BlockSize))
-	put(uint64(opt.PanelThreads))
-	put(uint64(opt.Tree))
+func cacheKey(op byte, a *Matrix, opt core.Options) (k ckey) {
+	hs := keyHashers.Get().(*keyHasher)
+	hs.h.Reset()
+	hs.op[0] = op
+	hs.h.Write(hs.op[:])
+	hs.put(uint64(a.Rows))
+	hs.put(uint64(a.Cols))
+	hs.put(uint64(opt.BlockSize))
+	hs.put(uint64(opt.PanelThreads))
+	hs.put(uint64(opt.Tree))
 	if opt.StructuredTree {
-		put(1)
+		hs.put(1)
 	} else {
-		put(0)
+		hs.put(0)
 	}
-	put(math.Float64bits(opt.GrowthThreshold))
+	hs.put(math.Float64bits(opt.GrowthThreshold))
 	for j := 0; j < a.Cols; j++ {
 		col := a.Data[j*a.Stride : j*a.Stride+a.Rows]
 		for _, v := range col {
-			put(math.Float64bits(v))
+			hs.put(math.Float64bits(v))
 		}
 	}
-	return string(h.Sum(nil))
+	copy(k[:], hs.h.Sum(hs.sum[:0]))
+	keyHashers.Put(hs)
+	return k
 }
 
 // LUCachedCtx is Engine.LUCtx behind the content-addressed result cache: it
@@ -155,6 +195,10 @@ func (e *Engine) LUCachedCtx(ctx context.Context, a *Matrix, opt Options) (*LUFa
 		return f, false, err
 	}
 	key := cacheKey('L', a, e.engineOptions(opt))
+	// Resident-hit fast path first: no fill closure, no allocation.
+	if v, ok := e.cache.get(key); ok {
+		return v.(*LUFactorization), true, nil
+	}
 	v, hit, err := e.cache.do(ctx, key, func() (any, error) {
 		return e.LUCtx(ctx, a.Clone(), opt)
 	})
@@ -172,6 +216,9 @@ func (e *Engine) QRCachedCtx(ctx context.Context, a *Matrix, opt Options) (*QRFa
 		return f, false, err
 	}
 	key := cacheKey('Q', a, e.engineOptions(opt))
+	if v, ok := e.cache.get(key); ok {
+		return v.(*QRFactorization), true, nil
+	}
 	v, hit, err := e.cache.do(ctx, key, func() (any, error) {
 		return e.QRCtx(ctx, a.Clone(), opt)
 	})

@@ -18,6 +18,23 @@
 //     mutex, never as plain loads racing the hot path
 //     (doc/OBSERVABILITY.md).
 //
+// On top of the per-package checks sits a stdlib-only dataflow layer — a
+// per-function control-flow-graph builder (cfg.go) and a module-wide call
+// graph from go/types callee resolution (callgraph.go) — carrying the
+// whole-program checks (program.go):
+//
+//   - lock-order: the global mutex-acquisition graph across internal/sched,
+//     factor, internal/obs and internal/trace must be acyclic — a cycle in
+//     held-lock → acquired-lock edges is a potential deadlock
+//     (doc/ANALYSIS.md#lock-order declares the sanctioned hierarchy);
+//   - hotpath-alloc: functions reachable from Dgemm's pack/microkernel
+//     driver and sched.runTask must not allocate per call;
+//   - atomic-discipline: a field accessed via sync/atomic anywhere must be
+//     accessed atomically everywhere;
+//   - ctx-propagation (call-graph aware): ctx-bearing code must not reach
+//     Pool.Submit through any ctx-less chain, and library packages never
+//     mint root contexts (doc/CANCELLATION.md).
+//
 // Checks run over type-checked packages loaded from source by Loader; the
 // cmd/calint driver applies them to the whole module. Individual findings
 // can be suppressed with a `// calint:ignore <check> [-- reason]` comment
@@ -29,7 +46,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 )
 
 // Diagnostic is one finding of one check.
@@ -57,24 +73,40 @@ type Check struct {
 	Run func(*Pass)
 }
 
-// Checks returns the full suite in a stable order.
+// Checks returns the per-package suite in a stable order. The whole-program
+// suite lives in ProgramChecks (program.go); CheckNames covers both.
 func Checks() []*Check {
 	return []*Check{
 		scratchReleaseCheck(),
-		ctxPropagationCheck(),
 		errorContractCheck(),
 		goroutineHygieneCheck(),
 		metricsHygieneCheck(),
 	}
 }
 
-// CheckNames returns the names of every registered check.
+// CheckNames returns the names of every registered check — per-package
+// first, then whole-program — in registry order.
 func CheckNames() []string {
 	var names []string
 	for _, c := range Checks() {
 		names = append(names, c.Name)
 	}
+	for _, c := range ProgramChecks() {
+		names = append(names, c.Name)
+	}
 	return names
+}
+
+// CheckDocs returns name → one-line doc for every registered check.
+func CheckDocs() map[string]string {
+	docs := make(map[string]string)
+	for _, c := range Checks() {
+		docs[c.Name] = c.Doc
+	}
+	for _, c := range ProgramChecks() {
+		docs[c.Name] = c.Doc
+	}
+	return docs
 }
 
 // Pass hands one type-checked package to one check and collects its
@@ -129,22 +161,7 @@ func RunChecks(pkg *Package, checks []*Check) []Diagnostic {
 		}
 		c.Run(pass)
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i].Pos, diags[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
-		}
-		if diags[i].Check != diags[j].Check {
-			return diags[i].Check < diags[j].Check
-		}
-		return diags[i].Message < diags[j].Message
-	})
+	SortDiagnostics(diags)
 	return diags
 }
 

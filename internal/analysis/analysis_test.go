@@ -28,28 +28,38 @@ type expectation struct {
 // want.
 func TestGolden(t *testing.T) {
 	cases := []struct {
-		dir string // under testdata/src
-		as  string // masquerade import path
+		dir     string // under testdata/src
+		as      string // masquerade import path
+		program bool   // run the whole-program suite instead of the per-package one
 	}{
-		{"scratchrelease", "repro/internal/scratchfix"},
+		{dir: "scratchrelease", as: "repro/internal/scratchfix"},
 		// Pack-buffer paths of the rebuilt BLAS3: a leaked pack buffer in a
 		// Dgemm-shaped driver must be flagged under the blas import path.
-		{"scratchblas", "repro/internal/blas"},
-		{"ctxprop", "repro/internal/ctxlib"},
-		{"errcontract", "repro/internal/core/fixture"},
-		{"gohygiene", "repro/internal/sched/fixture"},
+		{dir: "scratchblas", as: "repro/internal/blas"},
+		{dir: "ctxprop", as: "repro/internal/ctxlib", program: true},
+		{dir: "errcontract", as: "repro/internal/core/fixture"},
+		{dir: "gohygiene", as: "repro/internal/sched/fixture"},
 		// The hygiene scope also covers the engine and the chaos injector.
-		{"gohygiene", "repro/factor/fixture"},
-		{"gohygiene", "repro/internal/fault/fixture"},
+		{dir: "gohygiene", as: "repro/factor/fixture"},
+		{dir: "gohygiene", as: "repro/internal/fault/fixture"},
 		// Scope probe: the same Background() call that is a finding in a
 		// library package must be clean under cmd/.
-		{"cmdscope", "repro/cmd/cmdscope"},
+		{dir: "cmdscope", as: "repro/cmd/cmdscope", program: true},
 		// Scope probe: naked go statements outside the hygiene scope are
 		// not findings.
-		{"gohygieneoos", "repro/internal/matrix/fixture"},
+		{dir: "gohygieneoos", as: "repro/internal/matrix/fixture"},
 		// Snapshot-method discipline in both instrumented packages.
-		{"metricshygiene", "repro/factor/fixture"},
-		{"metricshygiene", "repro/internal/sched/fixture"},
+		{dir: "metricshygiene", as: "repro/factor/fixture"},
+		{dir: "metricshygiene", as: "repro/internal/sched/fixture"},
+		// Whole-program dataflow checks: an inverted lock pair inside the
+		// lock-order scope, allocating constructs reachable from a Dgemm
+		// root, and mixed atomic/plain field access.
+		{dir: "lockorder", as: "repro/internal/sched/lockfix", program: true},
+		{dir: "hotalloc", as: "repro/internal/blas/hotfix", program: true},
+		{dir: "atomicdisc", as: "repro/internal/atomfix", program: true},
+		// Scope probe: the same inverted lock pair outside the lock-order
+		// scope is not a finding.
+		{dir: "lockorderoos", as: "repro/internal/matrix/lockoos", program: true},
 	}
 	root, err := filepath.Abs("../..")
 	if err != nil {
@@ -70,7 +80,12 @@ func TestGolden(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			diags := RunChecks(pkg, Checks())
+			var diags []Diagnostic
+			if tc.program {
+				diags = RunProgramChecks(BuildProgram([]*Package{pkg}), ProgramChecks())
+			} else {
+				diags = RunChecks(pkg, Checks())
+			}
 			for _, d := range diags {
 				if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
 					t.Errorf("unexpected diagnostic: %s", d)
@@ -129,11 +144,29 @@ func claim(wants []*expectation, file string, line int, message string) bool {
 	return false
 }
 
+// TestExplainComplete: every registered check must have a -explain entry
+// with a doc/ANALYSIS.md anchor matching its name.
+func TestExplainComplete(t *testing.T) {
+	all, err := ExplainAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range all {
+		if e.Rationale == "" {
+			t.Errorf("%s: empty rationale", e.Name)
+		}
+		if want := "doc/ANALYSIS.md#" + e.Name; e.Anchor != want {
+			t.Errorf("%s: anchor = %q, want %q", e.Name, e.Anchor, want)
+		}
+	}
+}
+
 // TestCheckNamesStable pins the registry order and the names ignore
 // comments refer to.
 func TestCheckNamesStable(t *testing.T) {
 	got := strings.Join(CheckNames(), ",")
-	want := "scratch-release,ctx-propagation,error-contract,goroutine-hygiene,metrics-hygiene"
+	want := "scratch-release,error-contract,goroutine-hygiene,metrics-hygiene," +
+		"ctx-propagation,lock-order,hotpath-alloc,atomic-discipline"
 	if got != want {
 		t.Fatalf("CheckNames() = %s, want %s", got, want)
 	}

@@ -1,0 +1,182 @@
+package analysis
+
+// atomic-discipline: a field (or package-level variable) that is accessed
+// through the sync/atomic free functions anywhere in the program must be
+// accessed atomically everywhere. The mixed pattern —
+//
+//	atomic.AddInt64(&s.n, 1)   // writer
+//	if s.n > limit { ... }     // reader, racing the writer
+//
+// — is a data race the race detector only catches when a test schedule
+// happens to interleave the two, and it silently reads torn or stale
+// values on 32-bit targets. This is the whole-program generalization of
+// metrics-hygiene (which only inspects Stats/Methods snapshots): pass one
+// collects every field whose address flows into a sync/atomic call; pass
+// two flags every other access to those fields, anywhere in the program.
+// The typed atomics (atomic.Int64 & friends) are immune by construction —
+// prefer them for new code; this check exists for the pointer-based legacy
+// pattern and for fields that grow an atomic access after the fact.
+//
+// Composite-literal keys are not accesses and are skipped (zero-value
+// construction happens before the value is shared).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+func atomicDisciplineCheck() *ProgramCheck {
+	return &ProgramCheck{
+		Name: "atomic-discipline",
+		Doc:  "a field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+		Run:  runAtomicDiscipline,
+	}
+}
+
+func runAtomicDiscipline(pass *ProgramPass) {
+	// Pass 1: objects whose address is taken inside a sync/atomic call, and
+	// the exact operand expressions so pass 2 does not flag the sanctioned
+	// sites themselves.
+	atomicObjs := make(map[types.Object]token.Pos) // object -> example atomic site
+	sanctioned := make(map[ast.Expr]bool)          // &x.f operands inside atomic calls
+	for _, pkg := range pass.Packages() {
+		info := pkg.Info
+		for _, file := range pkg.Syntax {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := funcObj(info, call)
+				if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					operand := ast.Unparen(un.X)
+					obj := accessedObject(info, operand)
+					if obj == nil {
+						continue
+					}
+					if _, seen := atomicObjs[obj]; !seen {
+						atomicObjs[obj] = call.Pos()
+					}
+					sanctioned[operand] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+
+	// Pass 2: every other access.
+	type finding struct {
+		pos token.Pos
+		obj types.Object
+	}
+	var findings []finding
+	for _, pkg := range pass.Packages() {
+		info := pkg.Info
+		for _, file := range pkg.Syntax {
+			var walk func(n ast.Node)
+			walk = func(n ast.Node) {
+				ast.Inspect(n, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.SelectorExpr:
+						if sanctioned[n] {
+							// The &x.f of an atomic call: walk the base only.
+							walk(n.X)
+							return false
+						}
+						if sel, ok := info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+							if _, hot := atomicObjs[sel.Obj()]; hot {
+								findings = append(findings, finding{n.Pos(), sel.Obj()})
+							}
+							walk(n.X)
+							return false
+						}
+						// Package-qualified identifier (pkg.Var): check the Sel,
+						// skip descending so the bare ident is not re-checked.
+						if obj := info.Uses[n.Sel]; obj != nil {
+							if _, hot := atomicObjs[obj]; hot && !sanctioned[n] {
+								findings = append(findings, finding{n.Pos(), obj})
+							}
+						}
+						walk(n.X)
+						return false
+					case *ast.Ident:
+						if sanctioned[n] {
+							return false
+						}
+						if obj := info.Uses[n]; obj != nil {
+							if _, hot := atomicObjs[obj]; hot {
+								findings = append(findings, finding{n.Pos(), obj})
+							}
+						}
+						return false
+					case *ast.CompositeLit:
+						// Keys of keyed struct literals are field names, not
+						// accesses; values still count.
+						for _, el := range n.Elts {
+							if kv, ok := el.(*ast.KeyValueExpr); ok {
+								walk(kv.Value)
+							} else {
+								walk(el)
+							}
+						}
+						return false
+					}
+					return true
+				})
+			}
+			walk(file)
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	fset := pass.Fset()
+	for _, f := range findings {
+		at := fset.Position(atomicObjs[f.obj])
+		pass.Reportf(f.pos, "%s is accessed via sync/atomic (%s:%d) but read/written plainly here; every access must be atomic (doc/ANALYSIS.md#atomic-discipline)", f.obj.Name(), shortPath(at.Filename), at.Line)
+	}
+}
+
+// accessedObject resolves the variable an address-of operand denotes: a
+// struct field (via selection) or a package-level variable.
+func accessedObject(info *types.Info, x ast.Expr) types.Object {
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	}
+	return nil
+}
+
+// shortPath trims the path to its last two segments for compact messages.
+func shortPath(p string) string {
+	slash := 0
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' || p[i] == '\\' {
+			slash++
+			if slash == 2 {
+				return p[i+1:]
+			}
+		}
+	}
+	return p
+}

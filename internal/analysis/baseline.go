@@ -1,0 +1,162 @@
+package analysis
+
+// Fingerprinted baseline: lets a new check land strict on new code while
+// existing findings burn down explicitly instead of blocking the whole
+// suite. The file is line-oriented and diff-reviewable:
+//
+//	# comments and blank lines are skipped
+//	<fingerprint> <check> <file>:<line> -- <reason>
+//
+// The fingerprint is a truncated sha256 over (check, module-relative file,
+// message) — deliberately NOT the line number, so a baselined finding
+// survives unrelated edits above it; the file:line column is informational
+// and refreshed by -write-baseline. The reason after "--" is mandatory: a
+// baseline entry without a written justification is itself a finding
+// (ParseBaseline rejects it). Entries that no longer match any diagnostic
+// are reported as stale so the file shrinks as debt is paid.
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// BaselineEntry is one accepted pre-existing finding.
+type BaselineEntry struct {
+	// Fingerprint identifies the finding (see Fingerprint).
+	Fingerprint string
+	// Check is the check name, informational.
+	Check string
+	// Loc is the "file:line" recorded when the entry was written,
+	// informational (the fingerprint is line-independent).
+	Loc string
+	// Reason is the mandatory justification.
+	Reason string
+}
+
+// Fingerprint computes the stable identity of a diagnostic: a 16-hex-digit
+// truncation of sha256(check, module-relative slash path, message).
+func Fingerprint(d Diagnostic, moduleRoot string) string {
+	rel := sarifRelPath(moduleRoot, d.Pos.Filename)
+	h := sha256.New()
+	io.WriteString(h, d.Check)
+	h.Write([]byte{0})
+	io.WriteString(h, rel)
+	h.Write([]byte{0})
+	io.WriteString(h, d.Message)
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:8])
+}
+
+// ParseBaseline reads baseline entries, rejecting malformed lines and
+// entries without a reason.
+func ParseBaseline(r io.Reader) ([]BaselineEntry, error) {
+	var entries []BaselineEntry
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		body, reason, found := strings.Cut(line, "--")
+		reason = strings.TrimSpace(reason)
+		if !found || reason == "" {
+			return nil, fmt.Errorf("baseline line %d: missing `-- reason` (every baselined finding needs a written justification)", lineno)
+		}
+		if strings.HasPrefix(reason, "TODO") {
+			return nil, fmt.Errorf("baseline line %d: placeholder reason %q — replace the -write-baseline TODO with a real justification", lineno, reason)
+		}
+		fields := strings.Fields(body)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("baseline line %d: want `<fingerprint> <check> <file>:<line> -- <reason>`, got %q", lineno, line)
+		}
+		if len(fields[0]) != 16 || !isHex(fields[0]) {
+			return nil, fmt.Errorf("baseline line %d: fingerprint %q is not 16 hex digits", lineno, fields[0])
+		}
+		entries = append(entries, BaselineEntry{
+			Fingerprint: fields[0],
+			Check:       fields[1],
+			Loc:         fields[2],
+			Reason:      reason,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+func isHex(s string) bool {
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// FilterBaseline splits diags into active findings and baselined ones, and
+// returns the entries that matched nothing (stale — candidates for
+// deletion). Multiple diagnostics may share a fingerprint (same message in
+// one file); one entry covers them all.
+func FilterBaseline(diags []Diagnostic, entries []BaselineEntry, moduleRoot string) (active []Diagnostic, suppressed int, stale []BaselineEntry) {
+	byFP := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		byFP[e.Fingerprint] = true
+	}
+	used := make(map[string]bool)
+	for _, d := range diags {
+		fp := Fingerprint(d, moduleRoot)
+		if byFP[fp] {
+			used[fp] = true
+			suppressed++
+			continue
+		}
+		active = append(active, d)
+	}
+	for _, e := range entries {
+		if !used[e.Fingerprint] {
+			stale = append(stale, e)
+		}
+	}
+	return active, suppressed, stale
+}
+
+// WriteBaseline renders diags as a baseline file. Each entry gets a
+// placeholder reason the author must replace — ParseBaseline rejects the
+// file until they do, which is the point.
+func WriteBaseline(w io.Writer, diags []Diagnostic, moduleRoot string) error {
+	if _, err := fmt.Fprintf(w, "# calint baseline — accepted pre-existing findings (doc/ANALYSIS.md#baseline)\n# <fingerprint> <check> <file>:<line> -- <reason>\n"); err != nil {
+		return err
+	}
+	type row struct{ fp, check, loc string }
+	var rows []row
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		fp := Fingerprint(d, moduleRoot)
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		rel := sarifRelPath(moduleRoot, d.Pos.Filename)
+		rows = append(rows, row{fp: fp, check: d.Check, loc: fmt.Sprintf("%s:%d", rel, d.Pos.Line)})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].loc != rows[j].loc {
+			return rows[i].loc < rows[j].loc
+		}
+		return rows[i].fp < rows[j].fp
+	})
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s %s %s -- TODO: justify or fix\n", r.fp, r.check, r.loc); err != nil {
+			return err
+		}
+	}
+	return nil
+}

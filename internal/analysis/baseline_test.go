@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestFingerprintLineIndependent: the identity must survive the finding
+// moving to another line (unrelated edits above it) but change when the
+// message or file changes.
+func TestFingerprintLineIndependent(t *testing.T) {
+	d := Diagnostic{
+		Pos:     token.Position{Filename: "/mod/factor/engine.go", Line: 10, Column: 3},
+		Check:   "lock-order",
+		Message: "inversion",
+	}
+	moved := d
+	moved.Pos.Line = 200
+	moved.Pos.Column = 1
+	if Fingerprint(d, "/mod") != Fingerprint(moved, "/mod") {
+		t.Error("fingerprint changed when only the line moved")
+	}
+	other := d
+	other.Message = "different"
+	if Fingerprint(d, "/mod") == Fingerprint(other, "/mod") {
+		t.Error("fingerprint identical for different messages")
+	}
+	if got := Fingerprint(d, "/mod"); len(got) != 16 {
+		t.Errorf("fingerprint %q is not 16 hex chars", got)
+	}
+}
+
+// TestParseBaseline covers accepted syntax and the mandatory-reason rule.
+func TestParseBaseline(t *testing.T) {
+	good := `# comment
+0123456789abcdef lock-order factor/engine.go:10 -- reviewed: engine watchdog ordering documented
+`
+	entries, err := ParseBaseline(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("ParseBaseline(good): %v", err)
+	}
+	if len(entries) != 1 || entries[0].Check != "lock-order" || entries[0].Reason == "" {
+		t.Fatalf("entries = %+v", entries)
+	}
+
+	bad := []struct {
+		name, line, wantErr string
+	}{
+		{"missing reason", "0123456789abcdef lock-order f.go:1", "missing `-- reason`"},
+		{"empty reason", "0123456789abcdef lock-order f.go:1 -- ", "missing `-- reason`"},
+		{"todo reason", "0123456789abcdef lock-order f.go:1 -- TODO: justify or fix", "placeholder reason"},
+		{"short fingerprint", "0123 lock-order f.go:1 -- fine", "not 16 hex digits"},
+		{"missing fields", "0123456789abcdef f.go:1 -- fine", "want `<fingerprint>"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseBaseline(strings.NewReader(tc.line + "\n"))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestFilterBaseline: suppressed findings drop out, unmatched entries are
+// reported stale.
+func TestFilterBaseline(t *testing.T) {
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "/mod/a.go", Line: 1}, Check: "lock-order", Message: "one"},
+		{Pos: token.Position{Filename: "/mod/b.go", Line: 2}, Check: "hotpath-alloc", Message: "two"},
+	}
+	entries := []BaselineEntry{
+		{Fingerprint: Fingerprint(diags[0], "/mod"), Check: "lock-order", Loc: "a.go:1", Reason: "ok"},
+		{Fingerprint: strings.Repeat("0", 16), Check: "gone", Loc: "z.go:9", Reason: "stale"},
+	}
+	active, suppressed, stale := FilterBaseline(diags, entries, "/mod")
+	if suppressed != 1 || len(active) != 1 || active[0].Message != "two" {
+		t.Fatalf("active=%v suppressed=%d", active, suppressed)
+	}
+	if len(stale) != 1 || stale[0].Check != "gone" {
+		t.Fatalf("stale=%v", stale)
+	}
+}
+
+// TestWriteBaselineRoundTrip: -write-baseline output carries TODO reasons
+// that ParseBaseline rejects until a human justifies them; with reasons
+// written it parses and suppresses the original findings.
+func TestWriteBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "/mod/a.go", Line: 3}, Check: "lock-order", Message: "one"},
+	}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, diags, "/mod"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseBaseline(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("ParseBaseline accepted unjustified TODO entries")
+	}
+	justified := strings.ReplaceAll(buf.String(), "TODO: justify or fix", "reviewed and accepted")
+	entries, err := ParseBaseline(strings.NewReader(justified))
+	if err != nil {
+		t.Fatalf("ParseBaseline(justified): %v", err)
+	}
+	active, suppressed, stale := FilterBaseline(diags, entries, "/mod")
+	if len(active) != 0 || suppressed != 1 || len(stale) != 0 {
+		t.Fatalf("round trip: active=%v suppressed=%d stale=%v", active, suppressed, stale)
+	}
+}

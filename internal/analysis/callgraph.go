@@ -1,0 +1,192 @@
+package analysis
+
+// Module-wide call graph built from go/types callee resolution. Because the
+// Loader shares one *types.Package per import path across the whole load
+// (its importer caches), a *types.Func is a stable identity module-wide:
+// the node for internal/sched.runTask seen from its own package is the same
+// object a factor caller resolves, so whole-program checks (lock-order,
+// hotpath-alloc, ctx-propagation) can chase edges across package
+// boundaries without any name-based matching.
+//
+// Resolution is static: direct calls to declared functions and methods
+// (including promoted/embedded methods) produce edges; calls through
+// function-typed variables, interface methods and builtins do not. Calls
+// made inside a FuncLit are attributed to the enclosing declared function —
+// a closure's work is its creator's work as far as reachability goes — but
+// each edge records whether it sits under a `go` or `defer` statement so
+// order-sensitive analyses (lock-order) can ignore spawns, which start a
+// fresh goroutine with an empty held-lock set.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EdgeKind classifies how a call site transfers control.
+type EdgeKind int
+
+const (
+	// EdgeCall is an ordinary synchronous call.
+	EdgeCall EdgeKind = iota
+	// EdgeGo is a call that is (or is under) a `go` statement: it runs on a
+	// new goroutine.
+	EdgeGo
+	// EdgeDefer is the deferred call of a `defer` statement: it runs at
+	// function exit on the same goroutine.
+	EdgeDefer
+)
+
+// CallEdge is one resolved call site.
+type CallEdge struct {
+	// Callee is the invoked function or method.
+	Callee *types.Func
+	// Pos is the call site, for diagnostics.
+	Pos token.Pos
+	// Kind records go/defer context.
+	Kind EdgeKind
+}
+
+// FuncNode is one declared function in the analyzed program.
+type FuncNode struct {
+	// Func is the function's type object (the graph key).
+	Func *types.Func
+	// Decl is the declaration carrying the analyzed body.
+	Decl *ast.FuncDecl
+	// Pkg is the analyzed package the declaration lives in.
+	Pkg *Package
+	// Calls lists the resolved call sites in source order.
+	Calls []CallEdge
+}
+
+// CallGraph indexes every declared function of the analyzed packages.
+type CallGraph struct {
+	// Nodes maps a function object to its node. Only functions declared in
+	// the analyzed packages have nodes; edges may point at callees without
+	// nodes (stdlib, packages outside the run).
+	Nodes map[*types.Func]*FuncNode
+}
+
+// Node returns the graph node for f, or nil when f was not declared in an
+// analyzed package.
+func (g *CallGraph) Node(f *types.Func) *FuncNode { return g.Nodes[f] }
+
+// BuildCallGraph resolves every static call site in the given packages.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Nodes: make(map[*types.Func]*FuncNode)}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Func: obj, Decl: fn, Pkg: pkg}
+				if fn.Body != nil {
+					collectCalls(pkg.Info, fn.Body, EdgeCall, &node.Calls)
+				}
+				g.Nodes[obj] = node
+			}
+		}
+	}
+	return g
+}
+
+// collectCalls walks n recording resolved call edges, switching the edge
+// kind under go/defer statements.
+func collectCalls(info *types.Info, n ast.Node, kind EdgeKind, out *[]CallEdge) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Everything under the statement (the callee and any closure
+			// body) runs on the spawned goroutine.
+			collectCalls(info, n.Call, EdgeGo, out)
+			return false
+		case *ast.DeferStmt:
+			// The deferred call itself runs at exit; its arguments are
+			// evaluated now, but one kind per subtree is precise enough.
+			collectCalls(info, n.Call, EdgeDefer, out)
+			return false
+		case *ast.CallExpr:
+			if f := funcObj(info, n); f != nil {
+				*out = append(*out, CallEdge{Callee: f, Pos: n.Pos(), Kind: kind})
+			}
+		}
+		return true
+	})
+}
+
+// Reachable computes the set of functions reachable from the given roots
+// along edges accepted by keep (nil keeps every edge), and returns for each
+// reached function the call edge and caller that first reached it, so
+// diagnostics can print a hot-path chain.
+func (g *CallGraph) Reachable(roots []*types.Func, keep func(CallEdge) bool) map[*types.Func]*ReachStep {
+	reached := make(map[*types.Func]*ReachStep)
+	var queue []*types.Func
+	for _, r := range roots {
+		if r == nil {
+			continue
+		}
+		if _, ok := reached[r]; !ok {
+			reached[r] = &ReachStep{} // root: no caller
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		node := g.Nodes[f]
+		if node == nil {
+			continue
+		}
+		for _, e := range node.Calls {
+			if keep != nil && !keep(e) {
+				continue
+			}
+			if _, ok := reached[e.Callee]; ok {
+				continue
+			}
+			reached[e.Callee] = &ReachStep{Caller: f, Pos: e.Pos}
+			queue = append(queue, e.Callee)
+		}
+	}
+	return reached
+}
+
+// ReachStep records how a function was first reached in a traversal: the
+// caller and call position (zero for roots).
+type ReachStep struct {
+	Caller *types.Func
+	Pos    token.Pos
+}
+
+// Chain renders the root→f call chain from a Reachable result, e.g.
+// "Dgemm → packA → helper", compressing long chains to keep messages
+// readable.
+func Chain(reached map[*types.Func]*ReachStep, f *types.Func) string {
+	var names []string
+	for cur := f; cur != nil && len(names) < 16; {
+		names = append(names, cur.Name())
+		step := reached[cur]
+		if step == nil || step.Caller == nil {
+			break
+		}
+		cur = step.Caller
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	if len(names) > 7 {
+		names = append([]string{names[0], "…"}, names[len(names)-5:]...)
+	}
+	out := names[0]
+	for _, n := range names[1:] {
+		out += " → " + n
+	}
+	return out
+}

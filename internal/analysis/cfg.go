@@ -1,0 +1,462 @@
+package analysis
+
+// Per-function control-flow graph. The CFG is the flow-sensitive substrate
+// the whole-program checks (lock-order in particular) walk instead of the
+// raw AST: basic blocks hold statements and conditions in execution order,
+// and edges follow every structured-control construct Go has — if/else,
+// for/range (with break/continue, labeled or not), switch/type-switch
+// (with fallthrough), select, goto and defer. Returns and calls to the
+// builtin panic terminate a path (panic unwinds; defers are recorded on
+// the CFG rather than modeled as edges).
+//
+// The builder is deliberately syntactic: it needs no type information, so
+// it can run on any parsed function body, and the golden tests in
+// cfg_test.go pin the block/edge structure for each construct.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks in creation order; Blocks[0] is the entry block.
+	Blocks []*Block
+	// Entry is the block control enters at the top of the body.
+	Entry *Block
+	// Exit is the synthetic block every return (and the fall-off-the-end
+	// path) jumps to. It holds no nodes.
+	Exit *Block
+	// Defers lists the defer statements encountered anywhere in the body,
+	// in source order. Deferred calls run at every exit; checks that care
+	// (lock-order's unlock handling) consult this list rather than edges.
+	Defers []*ast.DeferStmt
+}
+
+// Block is one basic block: a maximal straight-line sequence of nodes with
+// a single entry and branch-free execution.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Kind names the construct that created the block ("entry", "if.then",
+	// "for.body", "select.case", ...) for dumps and debugging.
+	Kind string
+	// Nodes are the statements and conditions executed in order. Condition
+	// expressions of if/for/switch appear as their own entries.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// BuildCFG constructs the control-flow graph of body. A nil body (function
+// declared in assembly) yields a CFG with only entry and exit.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = b.cfg.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jumpTo(b.cfg.Exit)
+	b.resolveGotos()
+	return b.cfg
+}
+
+// ctrlTarget is one enclosing breakable/continuable construct.
+type ctrlTarget struct {
+	label      string // enclosing label, "" when unlabeled
+	breakTo    *Block
+	continueTo *Block // nil for switch/select
+}
+
+type cfgBuilder struct {
+	cfg     *CFG
+	cur     *Block // nil while the current path is terminated
+	targets []*ctrlTarget
+
+	// pendingLabel is the label of a LabeledStmt whose inner statement is
+	// about to be built; loops and switches consume it into their target.
+	pendingLabel string
+	// labelBlocks maps goto labels to the block beginning the labeled
+	// statement; forwardGotos holds edges to labels not yet seen.
+	labelBlocks  map[string]*Block
+	forwardGotos map[string][]*Block
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// emit appends a node to the current block, reviving the path into an
+// "unreachable" block when control cannot actually get here.
+func (b *cfgBuilder) emit(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// link adds an edge from the current block (if live) to blk.
+func (b *cfgBuilder) link(blk *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, blk)
+	}
+}
+
+// jumpTo ends the current path with an unconditional edge to blk.
+func (b *cfgBuilder) jumpTo(blk *Block) {
+	b.link(blk)
+	b.cur = nil
+}
+
+// startBlock makes blk current, linking it from the live predecessor.
+func (b *cfgBuilder) startBlock(blk *Block) {
+	b.link(blk)
+	b.cur = blk
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findTarget locates the break/continue target for an optional label.
+func (b *cfgBuilder) findTarget(label string, needContinue bool) *ctrlTarget {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if needContinue && t.continueTo == nil {
+			continue
+		}
+		if label == "" || t.label == label {
+			return t
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		name := s.Label.Name
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// The loop/switch builder records the label on its target so
+			// labeled break/continue resolve; goto to a loop label lands on
+			// the loop's head via labelBlocks below.
+			b.pendingLabel = name
+			lbl := b.newBlock("label." + name)
+			b.startBlock(lbl)
+			b.registerLabel(name, lbl)
+			b.stmt(s.Stmt)
+		default:
+			lbl := b.newBlock("label." + name)
+			b.startBlock(lbl)
+			b.registerLabel(name, lbl)
+			b.stmt(s.Stmt)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.emit(s.Cond)
+		head := b.cur
+		then := b.newBlock("if.then")
+		var elseB *Block
+		if s.Else != nil {
+			elseB = b.newBlock("if.else")
+		}
+		done := b.newBlock("if.done")
+		head.Succs = append(head.Succs, then)
+		if elseB != nil {
+			head.Succs = append(head.Succs, elseB)
+		} else {
+			head.Succs = append(head.Succs, done)
+		}
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.jumpTo(done)
+		if s.Else != nil {
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.jumpTo(done)
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock("for.head")
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.emit(s.Cond)
+		}
+		body := b.newBlock("for.body")
+		done := b.newBlock("for.done")
+		head.Succs = append(head.Succs, body)
+		if s.Cond != nil {
+			head.Succs = append(head.Succs, done)
+		}
+		var post *Block
+		contTo := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			contTo = post
+		}
+		b.targets = append(b.targets, &ctrlTarget{label: label, breakTo: done, continueTo: contTo})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.jumpTo(contTo)
+		b.targets = b.targets[:len(b.targets)-1]
+		if post != nil {
+			b.cur = post
+			b.emit(s.Post)
+			b.jumpTo(head)
+		}
+		b.cur = done
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		b.startBlock(head)
+		b.emit(s.X)
+		body := b.newBlock("range.body")
+		done := b.newBlock("range.done")
+		head.Succs = append(head.Succs, body, done)
+		b.targets = append(b.targets, &ctrlTarget{label: label, breakTo: done, continueTo: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.jumpTo(head)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = done
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		var clauses []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				b.stmt(sw.Init)
+			}
+			if sw.Tag != nil {
+				b.emit(sw.Tag)
+			}
+			clauses = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			if sw.Init != nil {
+				b.stmt(sw.Init)
+			}
+			b.emit(sw.Assign)
+			clauses = sw.Body.List
+		}
+		head := b.cur
+		if head == nil {
+			head = b.newBlock("unreachable")
+			b.cur = head
+		}
+		done := b.newBlock("switch.done")
+		bodies := make([]*Block, len(clauses))
+		hasDefault := false
+		for i, c := range clauses {
+			cc := c.(*ast.CaseClause)
+			kind := "switch.case"
+			if cc.List == nil {
+				kind = "switch.default"
+				hasDefault = true
+			}
+			bodies[i] = b.newBlock(kind)
+			head.Succs = append(head.Succs, bodies[i])
+		}
+		if !hasDefault {
+			head.Succs = append(head.Succs, done)
+		}
+		b.targets = append(b.targets, &ctrlTarget{label: label, breakTo: done})
+		for i, c := range clauses {
+			cc := c.(*ast.CaseClause)
+			b.cur = bodies[i]
+			for _, e := range cc.List {
+				b.emit(e)
+			}
+			fell := b.clauseBody(cc.Body)
+			if fell && i+1 < len(bodies) {
+				b.jumpTo(bodies[i+1])
+			} else {
+				b.jumpTo(done)
+			}
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = done
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		if head == nil {
+			head = b.newBlock("unreachable")
+			b.cur = head
+		}
+		done := b.newBlock("select.done")
+		b.targets = append(b.targets, &ctrlTarget{label: label, breakTo: done})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			kind := "select.case"
+			if cc.Comm == nil {
+				kind = "select.default"
+			}
+			blk := b.newBlock(kind)
+			head.Succs = append(head.Succs, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jumpTo(done)
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = done
+
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.jumpTo(b.cfg.Exit)
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(label, false); t != nil {
+				b.jumpTo(t.breakTo)
+			} else {
+				b.cur = nil
+			}
+		case token.CONTINUE:
+			if t := b.findTarget(label, true); t != nil {
+				b.jumpTo(t.continueTo)
+			} else {
+				b.cur = nil
+			}
+		case token.GOTO:
+			if blk, ok := b.labelBlocks[label]; ok {
+				b.jumpTo(blk)
+			} else {
+				// Forward goto: remember the source block and patch when
+				// the label is registered.
+				if b.cur != nil {
+					if b.forwardGotos == nil {
+						b.forwardGotos = make(map[string][]*Block)
+					}
+					b.forwardGotos[label] = append(b.forwardGotos[label], b.cur)
+				}
+				b.cur = nil
+			}
+		}
+		// FALLTHROUGH is consumed by clauseBody.
+
+	case *ast.DeferStmt:
+		b.emit(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.ExprStmt:
+		b.emit(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if ident, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && ident.Name == "panic" {
+				// Syntactic: a shadowed panic terminates a path it need not
+				// have; acceptable for a conservative CFG.
+				b.cur = nil
+			}
+		}
+
+	default:
+		// Assignments, declarations, go, send, inc/dec, empty.
+		b.emit(s)
+	}
+}
+
+// clauseBody builds a case clause's statements and reports whether the
+// clause ends in a fallthrough.
+func (b *cfgBuilder) clauseBody(list []ast.Stmt) (fallsThrough bool) {
+	for i, s := range list {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i == len(list)-1 {
+			return true
+		}
+		b.stmt(s)
+	}
+	return false
+}
+
+func (b *cfgBuilder) registerLabel(name string, blk *Block) {
+	if b.labelBlocks == nil {
+		b.labelBlocks = make(map[string]*Block)
+	}
+	b.labelBlocks[name] = blk
+	for _, src := range b.forwardGotos[name] {
+		src.Succs = append(src.Succs, blk)
+	}
+	delete(b.forwardGotos, name)
+}
+
+// resolveGotos drops edges for gotos whose labels never appeared (broken
+// source); the paths simply terminate.
+func (b *cfgBuilder) resolveGotos() { b.forwardGotos = nil }
+
+// Dump renders the CFG in the golden-test format: one line per block,
+//
+//	b0 entry: x := 0; x < n -> b2 b3
+//
+// with nodes printed as source (whitespace collapsed) and "-" for an empty
+// block. Unreferenced empty blocks are kept so indexes stay stable.
+func (c *CFG) Dump() string {
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:", blk.Index, blk.Kind)
+		if len(blk.Nodes) == 0 {
+			sb.WriteString(" -")
+		} else {
+			parts := make([]string, len(blk.Nodes))
+			for i, n := range blk.Nodes {
+				parts[i] = renderNode(n)
+			}
+			sb.WriteString(" " + strings.Join(parts, "; "))
+		}
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// renderNode prints a node as single-line source text.
+func renderNode(n ast.Node) string {
+	var buf bytes.Buffer
+	fset := token.NewFileSet()
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	fields := strings.Fields(buf.String())
+	return strings.Join(fields, " ")
+}

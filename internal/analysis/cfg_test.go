@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFuncCFG parses src (a file fragment containing exactly one function)
+// and builds the CFG of its body.
+func buildFuncCFG(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return BuildCFG(fd.Body)
+		}
+	}
+	t.Fatal("no function in src")
+	return nil
+}
+
+// TestCFGDump pins the block/edge structure of every control construct the
+// builder handles; the lock-order dataflow runs on exactly these graphs.
+func TestCFGDump(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "if-else",
+			src: `func f(x int) int {
+	if x > 0 {
+		x++
+	} else {
+		x--
+	}
+	return x
+}`,
+			want: `b0 entry: x > 0 -> b2 b3
+b1 exit: -
+b2 if.then: x++ -> b4
+b3 if.else: x-- -> b4
+b4 if.done: return x -> b1
+`,
+		},
+		{
+			name: "for-break-continue",
+			src: `func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			break
+		}
+		if i%2 == 0 {
+			continue
+		}
+		n--
+	}
+}`,
+			want: `b0 entry: i := 0 -> b2
+b1 exit: -
+b2 for.head: i < n -> b3 b4
+b3 for.body: i == 3 -> b6 b7
+b4 for.done: - -> b1
+b5 for.post: i++ -> b2
+b6 if.then: - -> b4
+b7 if.done: i%2 == 0 -> b8 b9
+b8 if.then: - -> b5
+b9 if.done: n-- -> b5
+`,
+		},
+		{
+			name: "range-labeled-break",
+			src: `func f(xs []int) {
+outer:
+	for _, x := range xs {
+		for {
+			if x > 0 {
+				break outer
+			}
+			break
+		}
+	}
+}`,
+			want: `b0 entry: - -> b2
+b1 exit: -
+b2 label.outer: - -> b3
+b3 range.head: xs -> b4 b5
+b4 range.body: - -> b6
+b5 range.done: - -> b1
+b6 for.head: - -> b7
+b7 for.body: x > 0 -> b9 b10
+b8 for.done: - -> b3
+b9 if.then: - -> b5
+b10 if.done: - -> b8
+`,
+		},
+		{
+			name: "switch-fallthrough",
+			src: `func f(x int) string {
+	switch x {
+	case 1:
+		fallthrough
+	case 2:
+		return "lo"
+	default:
+		return "hi"
+	}
+}`,
+			want: `b0 entry: x -> b3 b4 b5
+b1 exit: -
+b2 switch.done: - -> b1
+b3 switch.case: 1 -> b4
+b4 switch.case: 2; return "lo" -> b1
+b5 switch.default: return "hi" -> b1
+`,
+		},
+		{
+			name: "select",
+			src: `func f(ch chan int, done chan struct{}) {
+	select {
+	case v := <-ch:
+		_ = v
+	case <-done:
+		return
+	default:
+	}
+}`,
+			want: `b0 entry: - -> b3 b4 b5
+b1 exit: -
+b2 select.done: - -> b1
+b3 select.case: v := <-ch; _ = v -> b2
+b4 select.case: <-done; return -> b1
+b5 select.default: - -> b2
+`,
+		},
+		{
+			name: "defer-panic",
+			src: `func f(bad bool) {
+	acquire()
+	defer release()
+	if bad {
+		panic("bad")
+	}
+	work()
+}`,
+			want: `b0 entry: acquire(); defer release(); bad -> b2 b3
+b1 exit: -
+b2 if.then: panic("bad")
+b3 if.done: work() -> b1
+`,
+		},
+		{
+			name: "goto-forward",
+			src: `func f(n int) {
+	if n > 0 {
+		goto end
+	}
+	n++
+end:
+	n--
+}`,
+			want: `b0 entry: n > 0 -> b2 b3
+b1 exit: -
+b2 if.then: - -> b4
+b3 if.done: n++ -> b4
+b4 label.end: n-- -> b1
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := buildFuncCFG(t, tc.src).Dump()
+			if got != tc.want {
+				t.Errorf("CFG dump mismatch\n got:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCFGDefers pins the defer list: defers are recorded, not edges.
+func TestCFGDefers(t *testing.T) {
+	cfg := buildFuncCFG(t, `func f() {
+	defer a()
+	if cond() {
+		defer b()
+	}
+}`)
+	if len(cfg.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(cfg.Defers))
+	}
+}
+
+// TestCFGNilBody covers assembly-declared functions.
+func TestCFGNilBody(t *testing.T) {
+	cfg := BuildCFG(nil)
+	if len(cfg.Blocks) != 2 || cfg.Entry == nil || cfg.Exit == nil {
+		t.Fatalf("nil body CFG = %s", cfg.Dump())
+	}
+	if !strings.Contains(cfg.Dump(), "b0 entry") {
+		t.Fatalf("dump missing entry: %s", cfg.Dump())
+	}
+}

@@ -1,0 +1,120 @@
+package analysis
+
+// `calint -explain <check>`: the rationale behind each invariant, printed
+// so a CI failure is self-explanatory without leaving the terminal. Each
+// entry names the doc/ANALYSIS.md anchor carrying the long-form discussion.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explanation is the -explain payload for one check.
+type Explanation struct {
+	// Name is the check name.
+	Name string
+	// Doc is the registry one-liner.
+	Doc string
+	// Rationale is the multi-sentence why.
+	Rationale string
+	// Anchor is the doc/ANALYSIS.md fragment with the full writeup.
+	Anchor string
+}
+
+// explanations maps check name → rationale + doc anchor.
+var explanations = map[string]Explanation{
+	"scratch-release": {
+		Rationale: "Pooled workspaces from internal/scratch that escape a function on an early " +
+			"return (a cancellation exit, an error path) are stranded: the pool never sees them " +
+			"again and the allocation win the pool exists for quietly evaporates. Every " +
+			"acquisition must reach a Release/Put on every return path, or be covered by defer.",
+		Anchor: "doc/ANALYSIS.md#scratch-release",
+	},
+	"ctx-propagation": {
+		Rationale: "Pool.Submit is context-blind: code holding a context.Context that calls it " +
+			"(directly, or through any chain of ctx-less helpers — the call graph tracks the " +
+			"chain) silently severs the caller's cancellation. Library packages likewise must " +
+			"not mint context.Background()/TODO(): contexts flow in from the caller, so a " +
+			"request deadline reaches every pool submission it caused.",
+		Anchor: "doc/ANALYSIS.md#ctx-propagation",
+	},
+	"error-contract": {
+		Rationale: "The numerical packages panic only with typed errors (panic(fmt.Errorf(\"%w: " +
+			"...\", ErrShape, ...))) so the scheduler's recover path preserves errors.Is/As " +
+			"matching through Submission.Wait; a bare string panic decays into an opaque " +
+			"message. fmt.Errorf calls that pass an Err... sentinel must wrap it with %w.",
+		Anchor: "doc/ANALYSIS.md#error-contract",
+	},
+	"goroutine-hygiene": {
+		Rationale: "A panic escaping a naked goroutine kills the whole process and every " +
+			"concurrent submission with it. Every `go` statement in internal/sched, factor and " +
+			"internal/fault must route panics through a recover barrier (a top-level defer " +
+			"reaching recover, or the Pool.spawn helper).",
+		Anchor: "doc/ANALYSIS.md#goroutine-hygiene",
+	},
+	"metrics-hygiene": {
+		Rationale: "Stats/Metrics snapshot methods run concurrently with the hot path (a " +
+			"/metrics scrape lands mid-factorization). A plain field read in such a method is a " +
+			"data race; reads must go through sync/atomic, an obs counter, or happen under the " +
+			"owning mutex.",
+		Anchor: "doc/ANALYSIS.md#metrics-hygiene",
+	},
+	"lock-order": {
+		Rationale: "Deadlock needs only two locks taken in opposite orders on two goroutines. " +
+			"The check builds the global held-lock → acquired-lock graph (flow-sensitively over " +
+			"each function's CFG, transitively over the call graph) across internal/sched, " +
+			"factor, internal/obs and internal/trace, and rejects any cycle — including " +
+			"re-acquiring a held, non-reentrant mutex. The sanctioned hierarchy is declared in " +
+			"doc/ANALYSIS.md; code that needs a new edge extends the hierarchy there first.",
+		Anchor: "doc/ANALYSIS.md#lock-order",
+	},
+	"hotpath-alloc": {
+		Rationale: "The packed BLAS3 speedup dies silently if an allocation or interface boxing " +
+			"sneaks into the jc/pc/ic loops, and the scheduler's per-task path allocates once " +
+			"per task forever. Functions reachable from Dgemm's pack/microkernel driver and " +
+			"sched.runTask must not allocate per call: no heap composite literals, no " +
+			"make/new, no un-presized append, no interface boxing, no capturing closures. " +
+			"internal/scratch is the sanctioned allocator. The AllocsPerRun CI gate is the " +
+			"runtime complement.",
+		Anchor: "doc/ANALYSIS.md#hotpath-alloc",
+	},
+	"atomic-discipline": {
+		Rationale: "A field updated via sync/atomic in one place and read plainly in another is " +
+			"a data race the race detector only catches under lucky schedules, and a torn read " +
+			"on 32-bit targets. Once any access is atomic, every access must be. Prefer the " +
+			"typed atomics (atomic.Int64), which make the mixed pattern unrepresentable.",
+		Anchor: "doc/ANALYSIS.md#atomic-discipline",
+	},
+}
+
+// Explain returns the explanation for a check name.
+func Explain(name string) (Explanation, bool) {
+	e, ok := explanations[name]
+	if !ok {
+		return Explanation{}, false
+	}
+	e.Name = name
+	e.Doc = CheckDocs()[name]
+	return e, true
+}
+
+// ExplainAll lists every explanation in registry order (used by tests to
+// keep the map complete).
+func ExplainAll() ([]Explanation, error) {
+	var out []Explanation
+	var missing []string
+	for _, name := range CheckNames() {
+		e, ok := Explain(name)
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		out = append(out, e)
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, fmt.Errorf("analysis: checks without explanations: %s", strings.Join(missing, ", "))
+	}
+	return out, nil
+}

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked package as the checks see it: syntax, types
@@ -50,15 +51,34 @@ func (p *Package) Rel() string {
 // module-internal imports against the module tree and everything else
 // (the standard library) through go/importer's source importer. It keeps a
 // cache so shared dependencies type-check once.
+//
+// The loader is safe for concurrent use: the driver loads independent
+// package directories in parallel and the cache coalesces duplicate work
+// (the first goroutine to request an import path type-checks it; others
+// wait on its entry). token.FileSet is concurrency-safe; a completed
+// *types.Package is immutable; the stdlib source importer is not
+// documented as concurrency-safe, so it runs under its own mutex.
 type Loader struct {
 	// ModuleRoot is the absolute directory containing go.mod.
 	ModuleRoot string
 	// ModulePath is the module path declared in go.mod.
 	ModulePath string
 
-	fset   *token.FileSet
-	stdlib types.Importer
-	pkgs   map[string]*Package
+	fset *token.FileSet
+
+	stdlibMu sync.Mutex
+	stdlib   types.Importer
+
+	mu   sync.Mutex
+	pkgs map[string]*pkgEntry
+}
+
+// pkgEntry is one cache slot: done closes when the load completes, after
+// which pkg/err are immutable.
+type pkgEntry struct {
+	done chan struct{}
+	pkg  *Package
+	err  error
 }
 
 // NewLoader builds a loader for the module rooted at dir (the directory
@@ -78,7 +98,7 @@ func NewLoader(dir string) (*Loader, error) {
 		ModulePath: modPath,
 		fset:       fset,
 		stdlib:     importer.ForCompiler(fset, "source", nil),
-		pkgs:       make(map[string]*Package),
+		pkgs:       make(map[string]*pkgEntry),
 	}, nil
 }
 
@@ -122,9 +142,22 @@ func (l *Loader) Load(dir string) (*Package, error) {
 // Golden-test fixtures use it to masquerade as runtime packages so
 // path-scoped checks apply to them.
 func (l *Loader) LoadAs(dir, pkgPath string) (*Package, error) {
-	if p, ok := l.pkgs[pkgPath]; ok {
-		return p, nil
+	l.mu.Lock()
+	if e, ok := l.pkgs[pkgPath]; ok {
+		l.mu.Unlock()
+		<-e.done
+		return e.pkg, e.err
 	}
+	e := &pkgEntry{done: make(chan struct{})}
+	l.pkgs[pkgPath] = e
+	l.mu.Unlock()
+	e.pkg, e.err = l.loadAs(dir, pkgPath)
+	close(e.done)
+	return e.pkg, e.err
+}
+
+// loadAs does the actual parse + type-check for one cache entry.
+func (l *Loader) loadAs(dir, pkgPath string) (*Package, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
@@ -149,7 +182,7 @@ func (l *Loader) LoadAs(dir, pkgPath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", pkgPath, err)
 	}
-	p := &Package{
+	return &Package{
 		Path:       pkgPath,
 		Dir:        abs,
 		ModulePath: l.ModulePath,
@@ -157,9 +190,7 @@ func (l *Loader) LoadAs(dir, pkgPath string) (*Package, error) {
 		Syntax:     files,
 		Types:      tpkg,
 		Info:       info,
-	}
-	l.pkgs[pkgPath] = p
-	return p, nil
+	}, nil
 }
 
 // parseDir parses every buildable non-test .go file in dir, sorted by name
@@ -215,6 +246,8 @@ func (li *loaderImporter) Import(path string) (*types.Package, error) {
 		}
 		return p.Types, nil
 	}
+	l.stdlibMu.Lock()
+	defer l.stdlibMu.Unlock()
 	return l.stdlib.Import(path)
 }
 

@@ -1,0 +1,516 @@
+package analysis
+
+// lock-order: build the global mutex-acquisition graph and reject cycles.
+//
+// A node is a lock identity — a struct field ("repro/internal/sched.Pool.mu")
+// or a package-level variable ("repro/internal/obs.defaultMu") of a sync
+// mutex type; instances of the same field collapse onto one node. An edge
+// A → B means some goroutine may acquire B while holding A. The held-lock
+// set is computed flow-sensitively per function over the CFG (may-hold
+// union join, iterated to fixpoint for loops), and calls propagate
+// transitively: at a call site with held set H, every lock the callee may
+// acquire — directly or through its own callees, excluding `go` spawns,
+// which start with an empty held set — adds edges from each lock of H.
+// Any cycle in the resulting graph (including a self-loop: re-acquiring a
+// held, non-reentrant lock) is a potential deadlock and is reported on
+// every participating edge.
+//
+// Known imprecision, chosen deliberately:
+//   - identities are per-field, not per-instance, so hand-over-hand locking
+//     of parent/child nodes of the same type reports a self-cycle — if the
+//     sharded-pool work ever needs that pattern, it gets an ignore comment
+//     with the instance argument spelled out;
+//   - RLock counts as Lock (reader/writer cycles still deadlock through a
+//     blocked writer);
+//   - a deferred call other than Unlock is analyzed with the held set at
+//     the defer statement, not at function exit;
+//   - FuncLit bodies are treated as running where the literal appears
+//     (immediately-invoked and helper-callback closures); goroutine bodies
+//     under `go` are analyzed with an empty held set.
+//
+// The sanctioned hierarchy for the runtime's locks is declared in
+// doc/ANALYSIS.md#lock-order; this check is what makes it binding.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockScopePrefixes are the module-relative trees whose functions are
+// analyzed flow-sensitively. Transitive acquire summaries still follow
+// callees outside the scope.
+var lockScopePrefixes = []string{"internal/sched", "factor", "internal/obs", "internal/trace"}
+
+func lockOrderCheck() *ProgramCheck {
+	return &ProgramCheck{
+		Name: "lock-order",
+		Doc:  "mutex acquisition order must be acyclic across sched, factor, obs and trace (deadlock freedom)",
+		Run:  runLockOrder,
+	}
+}
+
+// lockID names one lock node: "pkg.Type.field" or "pkg.var".
+type lockID string
+
+// lockOp classifies a sync mutex method call.
+type lockOp int
+
+const (
+	lockNone lockOp = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockEdge is one observed held→acquired pair with its earliest example.
+type lockEdge struct {
+	from, to lockID
+	pos      token.Pos
+	fn       string // qualified function name for the message
+}
+
+func runLockOrder(pass *ProgramPass) {
+	g := pass.CallGraph()
+
+	// Pass 1: direct acquisitions per function (everything the function's
+	// own goroutine may lock — `go` subtrees excluded).
+	direct := make(map[*types.Func]map[lockID]bool)
+	for f, node := range g.Nodes {
+		if node.Decl.Body == nil {
+			continue
+		}
+		acq := make(map[lockID]bool)
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				if gs, ok := n.(*ast.GoStmt); ok {
+					_ = gs
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, op := classifyLockCall(node.Pkg.Info, call); op == lockAcquire && id != "" {
+						acq[id] = true
+					}
+				}
+				return true
+			})
+		}
+		walk(node.Decl.Body)
+		if len(acq) > 0 {
+			direct[f] = acq
+		}
+	}
+
+	// Pass 2: transitive may-acquire summaries (fixpoint over call edges,
+	// excluding go-spawns).
+	may := make(map[*types.Func]map[lockID]bool, len(direct))
+	for f, acq := range direct {
+		m := make(map[lockID]bool, len(acq))
+		for id := range acq {
+			m[id] = true
+		}
+		may[f] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for f, node := range g.Nodes {
+			for _, e := range node.Calls {
+				if e.Kind == EdgeGo {
+					continue
+				}
+				callee := may[e.Callee]
+				if len(callee) == 0 {
+					continue
+				}
+				m := may[f]
+				if m == nil {
+					m = make(map[lockID]bool, len(callee))
+					may[f] = m
+				}
+				for id := range callee {
+					if !m[id] {
+						m[id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: flow-sensitive held-set analysis of in-scope functions,
+	// collecting held→acquired edges.
+	edges := make(map[lockID]map[lockID]*lockEdge)
+	addEdge := func(from, to lockID, pos token.Pos, fn string) {
+		m := edges[from]
+		if m == nil {
+			m = make(map[lockID]*lockEdge)
+			edges[from] = m
+		}
+		if prev, ok := m[to]; !ok || pos < prev.pos {
+			m[to] = &lockEdge{from: from, to: to, pos: pos, fn: fn}
+		}
+	}
+	var scoped []*FuncNode
+	for _, node := range g.Nodes {
+		if inLockScope(node.Pkg.Rel()) && node.Decl.Body != nil {
+			scoped = append(scoped, node)
+		}
+	}
+	sort.Slice(scoped, func(i, j int) bool { return scoped[i].Decl.Pos() < scoped[j].Decl.Pos() })
+	for _, node := range scoped {
+		analyzeLockFlow(node, may, addEdge)
+	}
+
+	// Pass 4: SCC cycle detection over the lock graph; report every edge
+	// inside a multi-node SCC and every self-loop.
+	reportCycleEdges(pass, edges)
+}
+
+// inLockScope reports whether a module-relative package path is analyzed.
+func inLockScope(rel string) bool {
+	for _, p := range lockScopePrefixes {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// analyzeLockFlow runs the may-hold dataflow over one function's CFG.
+func analyzeLockFlow(node *FuncNode, may map[*types.Func]map[lockID]bool, addEdge func(from, to lockID, pos token.Pos, fn string)) {
+	cfg := BuildCFG(node.Decl.Body)
+	fnName := qualifiedName(node.Func)
+
+	in := make([]map[lockID]bool, len(cfg.Blocks))
+	out := make([]map[lockID]bool, len(cfg.Blocks))
+	for i := range out {
+		out[i] = map[lockID]bool{}
+		in[i] = map[lockID]bool{}
+	}
+	// Predecessor lists.
+	preds := make([][]int, len(cfg.Blocks))
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], b.Index)
+		}
+	}
+	// Fixpoint. Edge emission only happens on the final converged pass so
+	// transient states don't produce phantom edges (they can't — may-hold
+	// grows monotonically — but one emission pass also dedups cleanly).
+	transfer := func(b *Block, held map[lockID]bool, emit bool) map[lockID]bool {
+		cur := make(map[lockID]bool, len(held))
+		for id := range held {
+			cur[id] = true
+		}
+		for _, n := range b.Nodes {
+			scanNodeForLocks(node.Pkg.Info, n, cur, may, emit, fnName, addEdge)
+		}
+		return cur
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.Blocks {
+			merged := map[lockID]bool{}
+			for _, p := range preds[b.Index] {
+				for id := range out[p] {
+					merged[id] = true
+				}
+			}
+			in[b.Index] = merged
+			next := transfer(b, merged, false)
+			if !sameLockSet(next, out[b.Index]) {
+				out[b.Index] = next
+				changed = true
+			}
+		}
+	}
+	for _, b := range cfg.Blocks {
+		transfer(b, in[b.Index], true)
+	}
+}
+
+// scanNodeForLocks walks one CFG node in source order, updating the held
+// set and (when emit is set) recording held→acquired edges.
+func scanNodeForLocks(info *types.Info, n ast.Node, held map[lockID]bool, may map[*types.Func]map[lockID]bool, emit bool, fnName string, addEdge func(from, to lockID, pos token.Pos, fn string)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Spawned goroutine: fresh held set; its body's direct acquires
+			// are covered when its callee/closure is analyzed on its own.
+			return false
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to exit — a no-op here.
+			// Other deferred calls are analyzed with the current held set.
+			if _, op := classifyLockCall(info, n.Call); op == lockRelease {
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if id, op := classifyLockCall(info, n); op != lockNone {
+				if id == "" {
+					return true
+				}
+				switch op {
+				case lockAcquire:
+					if emit {
+						for h := range held {
+							addEdge(h, id, n.Pos(), fnName)
+						}
+					}
+					held[id] = true
+				case lockRelease:
+					delete(held, id)
+				}
+				return true
+			}
+			if f := funcObj(info, n); f != nil {
+				if acq := may[f]; len(acq) > 0 && emit {
+					for h := range held {
+						for id := range acq {
+							addEdge(h, id, n.Pos(), fnName)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sameLockSet reports set equality.
+func sameLockSet(a, b map[lockID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id := range a {
+		if !b[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// classifyLockCall recognizes sync.Mutex/RWMutex Lock/RLock/Unlock/RUnlock
+// method calls and names the lock. An empty id with a non-none op means
+// "a lock we cannot identify" (local or computed receiver).
+func classifyLockCall(info *types.Info, call *ast.CallExpr) (lockID, lockOp) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	var op lockOp
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = lockAcquire
+	case "Unlock", "RUnlock":
+		op = lockRelease
+	default:
+		return "", lockNone
+	}
+	f := funcObj(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", lockNone
+	}
+	return lockExprID(info, sel.X), op
+}
+
+// lockExprID names the lock denoted by a mutex-valued expression: a struct
+// field becomes "pkg.Type.field" (per-field identity), a package-level var
+// becomes "pkg.var". Locals and computed expressions yield "".
+func lockExprID(info *types.Info, x ast.Expr) lockID {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if selection, ok := info.Selections[x]; ok && selection.Kind() == types.FieldVal {
+			recv := selection.Recv()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return lockID(named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + selection.Obj().Name())
+			}
+			return ""
+		}
+		// Package-qualified variable: pkg.Mu.
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return lockID(v.Pkg().Path() + "." + v.Name())
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return lockID(v.Pkg().Path() + "." + v.Name())
+		}
+	}
+	return ""
+}
+
+// qualifiedName renders pkg-relative "Type.method" / "func" names for
+// messages.
+func qualifiedName(f *types.Func) string {
+	sig, _ := f.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + f.Name()
+		}
+	}
+	return f.Name()
+}
+
+// reportCycleEdges finds strongly connected components of the lock graph
+// and reports every edge whose endpoints share a component (plus
+// self-loops), at the acquisition site, in deterministic order.
+func reportCycleEdges(pass *ProgramPass, edges map[lockID]map[lockID]*lockEdge) {
+	// Collect nodes.
+	nodeSet := make(map[lockID]bool)
+	for from, m := range edges {
+		nodeSet[from] = true
+		for to := range m {
+			nodeSet[to] = true
+		}
+	}
+	var nodes []lockID
+	for id := range nodeSet {
+		nodes = append(nodes, id)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	comp := tarjanSCC(nodes, edges)
+
+	var cyclic []*lockEdge
+	for _, m := range edges {
+		for _, e := range m {
+			if e.from == e.to || comp[e.from] == comp[e.to] && sccSize(comp, comp[e.from]) > 1 {
+				cyclic = append(cyclic, e)
+			}
+		}
+	}
+	sort.Slice(cyclic, func(i, j int) bool {
+		if cyclic[i].pos != cyclic[j].pos {
+			return cyclic[i].pos < cyclic[j].pos
+		}
+		return cyclic[i].to < cyclic[j].to
+	})
+	for _, e := range cyclic {
+		if e.from == e.to {
+			pass.Reportf(e.pos, "lock order inversion in %s: %s acquired while already held; potential self-deadlock (doc/ANALYSIS.md#lock-order)", e.fn, e.to)
+			continue
+		}
+		// Name one reverse-path example for the message.
+		back := reversePathExample(edges, comp, e)
+		pass.Reportf(e.pos, "lock order inversion in %s: acquiring %s while holding %s, but %s is also acquired while %s is held (in %s); potential deadlock (doc/ANALYSIS.md#lock-order)", e.fn, e.to, e.from, e.from, e.to, back)
+	}
+}
+
+// sccSize counts members of component c.
+func sccSize(comp map[lockID]int, c int) int {
+	n := 0
+	for _, v := range comp {
+		if v == c {
+			n++
+		}
+	}
+	return n
+}
+
+// reversePathExample names the function holding e.to while (eventually)
+// acquiring e.from — the other half of the inversion — preferring a direct
+// reverse edge.
+func reversePathExample(edges map[lockID]map[lockID]*lockEdge, comp map[lockID]int, e *lockEdge) string {
+	if m, ok := edges[e.to]; ok {
+		if rev, ok := m[e.from]; ok {
+			return rev.fn
+		}
+		// Any in-component successor keeps the cycle.
+		var names []string
+		for to, cand := range m {
+			if comp[to] == comp[e.from] {
+				names = append(names, cand.fn)
+			}
+		}
+		sort.Strings(names)
+		if len(names) > 0 {
+			return names[0]
+		}
+	}
+	return "another function"
+}
+
+// tarjanSCC assigns every node a component index (iterative Tarjan).
+func tarjanSCC(nodes []lockID, edges map[lockID]map[lockID]*lockEdge) map[lockID]int {
+	succs := func(id lockID) []lockID {
+		var out []lockID
+		for to := range edges[id] {
+			out = append(out, to)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	index := make(map[lockID]int)
+	low := make(map[lockID]int)
+	onStack := make(map[lockID]bool)
+	comp := make(map[lockID]int)
+	var stack []lockID
+	next, ncomp := 0, 0
+
+	type frame struct {
+		node  lockID
+		succs []lockID
+		i     int
+	}
+	for _, start := range nodes {
+		if _, seen := index[start]; seen {
+			continue
+		}
+		var frames []frame
+		push := func(n lockID) {
+			index[n] = next
+			low[n] = next
+			next++
+			stack = append(stack, n)
+			onStack[n] = true
+			frames = append(frames, frame{node: n, succs: succs(n)})
+		}
+		push(start)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succs) {
+				w := f.succs[f.i]
+				f.i++
+				if _, seen := index[w]; !seen {
+					push(w)
+				} else if onStack[w] {
+					if index[w] < low[f.node] {
+						low[f.node] = index[w]
+					}
+				}
+				continue
+			}
+			// Pop frame.
+			n := f.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[n] < low[parent.node] {
+					low[parent.node] = low[n]
+				}
+			}
+			if low[n] == index[n] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == n {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp
+}

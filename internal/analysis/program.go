@@ -1,0 +1,142 @@
+package analysis
+
+// Whole-program checks. Where a Check sees one package at a time, a
+// ProgramCheck sees every package of the run at once plus the module-wide
+// call graph, which is what lock-order (cycles span packages), hotpath-alloc
+// (hotness is reachability from roots in other packages) and the
+// call-graph-aware ctx-propagation rules need. The cmd/calint driver loads
+// all requested packages first, then runs the program suite once over the
+// lot; the golden tests build single-package programs from fixtures.
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// ProgramCheck is one named whole-program analyzer.
+type ProgramCheck struct {
+	// Name identifies the check in diagnostics and ignore comments.
+	Name string
+	// Doc is a one-line description shown by `calint -list`.
+	Doc string
+	// Run inspects the whole program and reports through the pass.
+	Run func(*ProgramPass)
+}
+
+// ProgramChecks returns the whole-program suite in a stable order.
+func ProgramChecks() []*ProgramCheck {
+	return []*ProgramCheck{
+		ctxPropagationCheck(),
+		lockOrderCheck(),
+		hotpathAllocCheck(),
+		atomicDisciplineCheck(),
+	}
+}
+
+// Program is the unit a ProgramCheck analyzes: the loaded packages, their
+// shared call graph, and the merged ignore-comment index.
+type Program struct {
+	// Fset positions all syntax (shared by every package of one Loader).
+	Fset *token.FileSet
+	// Packages are the analyzed packages, in load order.
+	Packages []*Package
+	// CallGraph indexes every declared function across Packages.
+	CallGraph *CallGraph
+
+	ignores ignoreIndex
+}
+
+// BuildProgram assembles a Program over the given packages. All packages
+// must come from one Loader (they share its FileSet; type identities are
+// shared through its import cache).
+func BuildProgram(pkgs []*Package) *Program {
+	prog := &Program{CallGraph: BuildCallGraph(pkgs), ignores: make(ignoreIndex)}
+	for _, pkg := range pkgs {
+		if prog.Fset == nil {
+			prog.Fset = pkg.Fset
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		// Filenames are unique across the shared FileSet, so the per-package
+		// indexes merge without collisions.
+		for file, lines := range buildIgnoreIndex(pkg.Fset, pkg.Syntax) {
+			prog.ignores[file] = lines
+		}
+	}
+	return prog
+}
+
+// ProgramPass hands the program to one check and collects diagnostics,
+// applying ignore-comment suppression.
+type ProgramPass struct {
+	check string
+	prog  *Program
+	diags *[]Diagnostic
+}
+
+// Program returns the program under analysis.
+func (p *ProgramPass) Program() *Program { return p.prog }
+
+// Fset returns the file set positions resolve against.
+func (p *ProgramPass) Fset() *token.FileSet { return p.prog.Fset }
+
+// Packages returns the analyzed packages.
+func (p *ProgramPass) Packages() []*Package { return p.prog.Packages }
+
+// CallGraph returns the module-wide call graph.
+func (p *ProgramPass) CallGraph() *CallGraph { return p.prog.CallGraph }
+
+// Reportf records a diagnostic at pos unless an ignore comment suppresses
+// it.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.prog.Fset.Position(pos)
+	if p.prog.ignores.suppressed(p.check, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Suppressed reports whether an ignore comment covers the named check at
+// pos. Checks that seed dataflow from source facts (ctx-propagation's taint
+// from Pool.Submit call sites) consult this so a documented, ignored call
+// site does not taint its callers.
+func (p *ProgramPass) Suppressed(check string, pos token.Pos) bool {
+	return p.prog.ignores.suppressed(check, p.prog.Fset.Position(pos))
+}
+
+// RunProgramChecks applies every given check to the program and returns the
+// surviving diagnostics sorted by file, line, column, check, message.
+func RunProgramChecks(prog *Program, checks []*ProgramCheck) []Diagnostic {
+	var diags []Diagnostic
+	for _, c := range checks {
+		c.Run(&ProgramPass{check: c.Name, prog: prog, diags: &diags})
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, check name and
+// message — the diff-stable order CI output and the baseline rely on. The
+// driver uses it to merge per-package and whole-program findings.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if diags[i].Check != diags[j].Check {
+			return diags[i].Check < diags[j].Check
+		}
+		return diags[i].Message < diags[j].Message
+	})
+}

@@ -1,0 +1,224 @@
+package analysis
+
+// SARIF 2.1.0 output for GitHub code scanning. The emitted log is the
+// minimal-but-valid subset code scanning ingests: one run, the calint
+// driver with one reportingDescriptor per registered check, and one result
+// per diagnostic with a physical location (module-relative URI against the
+// %SRCROOT% base) and a partial fingerprint matching the baseline file's
+// (baseline.go), so code-scanning alert identity survives line drift the
+// same way baseline entries do.
+//
+// ValidateSARIF is a structural schema check used by the unit tests and by
+// the driver after generation: the network-fetched JSON schema is off the
+// table (no deps, no network in CI), so the properties the 2.1.0 schema
+// marks required on the path we emit are asserted directly.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+const (
+	sarifVersion   = "2.1.0"
+	sarifSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+	toolName       = "calint"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	HelpURI          string       `json:"helpUri,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID              string            `json:"ruleId"`
+	Level               string            `json:"level"`
+	Message             sarifMessage      `json:"message"`
+	Locations           []sarifLocation   `json:"locations"`
+	PartialFingerprints map[string]string `json:"partialFingerprints,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders diags as a SARIF 2.1.0 log. File paths are made
+// relative to moduleRoot (and slash-separated) so the log is stable across
+// checkouts.
+func WriteSARIF(w io.Writer, diags []Diagnostic, moduleRoot string) error {
+	rules := make([]sarifRule, 0, 8)
+	for _, name := range CheckNames() {
+		rule := sarifRule{ID: name, ShortDescription: sarifMessage{Text: CheckDocs()[name]}}
+		if e, ok := Explain(name); ok {
+			// Repo-relative doc link; `calint -explain <check>` prints the
+			// same anchor with the rationale inline.
+			rule.HelpURI = e.Anchor
+		}
+		rules = append(rules, rule)
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		rel := sarifRelPath(moduleRoot, d.Pos.Filename)
+		results = append(results, sarifResult{
+			RuleID:  d.Check,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: rel, URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+			PartialFingerprints: map[string]string{
+				"calint/v1": Fingerprint(d, moduleRoot),
+			},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: toolName, InformationURI: "doc/ANALYSIS.md", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifRelPath relativizes and slash-normalizes a diagnostic path.
+func sarifRelPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+// ValidateSARIF structurally checks that data is a SARIF 2.1.0 log with
+// the properties required on the run/tool/driver/result path: version and
+// $schema pinned to 2.1.0, at least one run, a named driver, every result
+// carrying ruleId/message/locations, every ruleId declared in the driver's
+// rules, and every location carrying an artifact URI and a positive
+// startLine.
+func ValidateSARIF(data []byte) error {
+	var log map[string]any
+	if err := json.Unmarshal(data, &log); err != nil {
+		return fmt.Errorf("sarif: not JSON: %w", err)
+	}
+	if v, _ := log["version"].(string); v != sarifVersion {
+		return fmt.Errorf("sarif: version = %q, want %q", v, sarifVersion)
+	}
+	if s, _ := log["$schema"].(string); !strings.Contains(s, "sarif-2.1.0") {
+		return fmt.Errorf("sarif: $schema %q does not pin 2.1.0", s)
+	}
+	runs, ok := log["runs"].([]any)
+	if !ok || len(runs) == 0 {
+		return fmt.Errorf("sarif: runs must be a non-empty array")
+	}
+	for i, r := range runs {
+		run, ok := r.(map[string]any)
+		if !ok {
+			return fmt.Errorf("sarif: runs[%d] is not an object", i)
+		}
+		tool, _ := run["tool"].(map[string]any)
+		driver, _ := tool["driver"].(map[string]any)
+		name, _ := driver["name"].(string)
+		if name == "" {
+			return fmt.Errorf("sarif: runs[%d].tool.driver.name missing", i)
+		}
+		ruleIDs := map[string]bool{}
+		if rules, ok := driver["rules"].([]any); ok {
+			for j, rr := range rules {
+				rule, ok := rr.(map[string]any)
+				if !ok {
+					return fmt.Errorf("sarif: rules[%d] is not an object", j)
+				}
+				id, _ := rule["id"].(string)
+				if id == "" {
+					return fmt.Errorf("sarif: rules[%d].id missing", j)
+				}
+				ruleIDs[id] = true
+			}
+		}
+		results, ok := run["results"].([]any)
+		if !ok {
+			return fmt.Errorf("sarif: runs[%d].results missing (must be present, possibly empty)", i)
+		}
+		for j, rr := range results {
+			res, ok := rr.(map[string]any)
+			if !ok {
+				return fmt.Errorf("sarif: results[%d] is not an object", j)
+			}
+			rid, _ := res["ruleId"].(string)
+			if rid == "" {
+				return fmt.Errorf("sarif: results[%d].ruleId missing", j)
+			}
+			if len(ruleIDs) > 0 && !ruleIDs[rid] {
+				return fmt.Errorf("sarif: results[%d].ruleId %q not declared in driver rules", j, rid)
+			}
+			msg, _ := res["message"].(map[string]any)
+			if text, _ := msg["text"].(string); text == "" {
+				return fmt.Errorf("sarif: results[%d].message.text missing", j)
+			}
+			locs, ok := res["locations"].([]any)
+			if !ok || len(locs) == 0 {
+				return fmt.Errorf("sarif: results[%d].locations missing", j)
+			}
+			loc, _ := locs[0].(map[string]any)
+			phys, _ := loc["physicalLocation"].(map[string]any)
+			art, _ := phys["artifactLocation"].(map[string]any)
+			if uri, _ := art["uri"].(string); uri == "" {
+				return fmt.Errorf("sarif: results[%d] artifactLocation.uri missing", j)
+			}
+			region, _ := phys["region"].(map[string]any)
+			if line, _ := region["startLine"].(float64); line < 1 {
+				return fmt.Errorf("sarif: results[%d] region.startLine missing or < 1", j)
+			}
+		}
+	}
+	return nil
+}

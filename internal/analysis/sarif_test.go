@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:     token.Position{Filename: "/mod/internal/sched/pool.go", Line: 42, Column: 7},
+			Check:   "lock-order",
+			Message: "lock order inversion in Pool.drain: acquiring a while holding b",
+		},
+		{
+			Pos:     token.Position{Filename: "/mod/factor/engine.go", Line: 9, Column: 1},
+			Check:   "hotpath-alloc",
+			Message: "allocation in hot path (Dgemm): make([]T) allocates",
+		},
+	}
+}
+
+// TestSARIFRoundTrip: WriteSARIF output must pass the structural 2.1.0
+// validation and carry module-relative URIs and baseline-compatible
+// fingerprints.
+func TestSARIFRoundTrip(t *testing.T) {
+	diags := sampleDiags()
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, diags, "/mod"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	if err := ValidateSARIF(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateSARIF rejected our own output: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"uri": "internal/sched/pool.go"`) {
+		t.Errorf("URI not module-relative:\n%s", out)
+	}
+	if !strings.Contains(out, Fingerprint(diags[0], "/mod")) {
+		t.Errorf("partialFingerprints missing baseline fingerprint")
+	}
+	// Every registered check must appear as a rule (default-on contract).
+	for _, name := range CheckNames() {
+		if !strings.Contains(out, `"id": "`+name+`"`) {
+			t.Errorf("rule %s missing from driver rules", name)
+		}
+	}
+}
+
+// TestSARIFEmptyResults: an all-clean run still emits a valid log with an
+// empty results array (code scanning requires the property to be present).
+func TestSARIFEmptyResults(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, nil, "/mod"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	if err := ValidateSARIF(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateSARIF: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Errorf("empty run must serialize results as []:\n%s", buf.String())
+	}
+}
+
+// TestValidateSARIFRejects: tampered logs must fail validation for the
+// right reason.
+func TestValidateSARIFRejects(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sampleDiags(), "/mod"); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.Bytes()
+
+	tamper := func(t *testing.T, mutate func(m map[string]any)) []byte {
+		t.Helper()
+		var m map[string]any
+		if err := json.Unmarshal(base, &m); err != nil {
+			t.Fatal(err)
+		}
+		mutate(m)
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	run := func(m map[string]any) map[string]any {
+		return m["runs"].([]any)[0].(map[string]any)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(m map[string]any)
+		wantErr string
+	}{
+		{"wrong version", func(m map[string]any) { m["version"] = "2.0.0" }, "version"},
+		{"no runs", func(m map[string]any) { m["runs"] = []any{} }, "runs"},
+		{"unnamed driver", func(m map[string]any) {
+			run(m)["tool"].(map[string]any)["driver"].(map[string]any)["name"] = ""
+		}, "driver.name"},
+		{"undeclared ruleId", func(m map[string]any) {
+			run(m)["results"].([]any)[0].(map[string]any)["ruleId"] = "no-such-check"
+		}, "not declared"},
+		{"empty message", func(m map[string]any) {
+			run(m)["results"].([]any)[0].(map[string]any)["message"] = map[string]any{"text": ""}
+		}, "message.text"},
+		{"zero startLine", func(m map[string]any) {
+			res := run(m)["results"].([]any)[0].(map[string]any)
+			loc := res["locations"].([]any)[0].(map[string]any)
+			loc["physicalLocation"].(map[string]any)["region"] = map[string]any{"startLine": 0}
+		}, "startLine"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateSARIF(tamper(t, tc.mutate))
+			if err == nil {
+				t.Fatal("tampered log validated")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

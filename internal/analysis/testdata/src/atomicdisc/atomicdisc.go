@@ -1,0 +1,62 @@
+// Package atomicdisc is a golden-test fixture for the atomic-discipline
+// check (loaded masqueraded as "repro/internal/atomfix"; the check is
+// scope-free, so any path works).
+package atomicdisc
+
+import "sync/atomic"
+
+type stats struct {
+	// n is atomically updated; every access must be atomic.
+	n int64
+	// plain is never touched atomically; plain access is fine.
+	plain int64
+	// typed uses the typed atomics — immune by construction.
+	typed atomic.Int64
+}
+
+// inc is the sanctioned writer; its &s.n operand is not a finding.
+func (s *stats) inc() {
+	atomic.AddInt64(&s.n, 1)
+	s.plain++
+	s.typed.Add(1)
+}
+
+// loadOK reads through sync/atomic — sanctioned.
+func (s *stats) loadOK() int64 {
+	return atomic.LoadInt64(&s.n)
+}
+
+// read mixes a plain load with inc's atomic writes.
+func (s *stats) read() int64 {
+	return s.n // want "n is accessed via sync/atomic .* but read/written plainly here"
+}
+
+// write mixes a plain store in as well.
+func (s *stats) write(v int64) {
+	s.n = v // want "n is accessed via sync/atomic .* but read/written plainly here"
+	s.plain = v
+	s.typed.Store(v)
+}
+
+// reset is the documented exception: single-goroutine construction window.
+func (s *stats) reset() {
+	s.n = 0 // calint:ignore atomic-discipline -- fixture: pre-publication init
+}
+
+// construct uses a keyed literal: the key is a field name, not an access;
+// the *value* expression reading another instance's field is one.
+func construct(src *stats) stats {
+	return stats{n: src.n} // want "n is accessed via sync/atomic .* but read/written plainly here"
+}
+
+// pkgHits is a package-level counter updated atomically in hit() and read
+// plainly in report().
+var pkgHits int64
+
+func hit() {
+	atomic.AddInt64(&pkgHits, 1)
+}
+
+func report() int64 {
+	return pkgHits // want "pkgHits is accessed via sync/atomic .* but read/written plainly here"
+}

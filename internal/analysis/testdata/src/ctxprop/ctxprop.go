@@ -45,3 +45,42 @@ func SuppressedBridge(p *sched.Pool, g *sched.Graph) error {
 	_, err := p.SubmitCtx(context.Background(), g, sched.SubmitOptions{}) // calint:ignore ctx-propagation -- documented ctx-free wrapper
 	return err
 }
+
+// submitHelper is a ctx-less helper hiding the blind submission; it is not
+// itself a finding (no ctx in scope) but it taints every ctx-bearing caller.
+func submitHelper(p *sched.Pool, g *sched.Graph) error {
+	_, err := p.Submit(g, sched.SubmitOptions{})
+	return err
+}
+
+// TransitiveSever reaches Pool.Submit through a ctx-less chain; the call
+// graph pins the severing edge at the helper call.
+func TransitiveSever(ctx context.Context, p *sched.Pool, g *sched.Graph) error {
+	_ = ctx
+	return submitHelper(p, g) // want "reaches Pool.Submit via submitHelper"
+}
+
+// TransitiveBarrier hands its ctx to a ctx-aware callee; the callee owns the
+// propagation decision, so the caller is clean.
+func TransitiveBarrier(ctx context.Context, p *sched.Pool, g *sched.Graph) error {
+	return SubmitCtxOK(ctx, p, g)
+}
+
+// ClosureCapture severs cancellation from inside a closure while the
+// enclosing function's ctx is in scope — the rule sees through the literal.
+func ClosureCapture(ctx context.Context, p *sched.Pool, g *sched.Graph) func() error {
+	_ = ctx
+	return func() error {
+		_, err := p.Submit(g, sched.SubmitOptions{}) // want "receives a context.Context but calls Pool.Submit"
+		return err
+	}
+}
+
+// LocalCtxSubmit has no ctx parameter but a ctx-typed local in scope when it
+// calls the blind entry point.
+func LocalCtxSubmit(p *sched.Pool, g *sched.Graph, parent func() context.Context) error {
+	ctx := parent()
+	_ = ctx
+	_, err := p.Submit(g, sched.SubmitOptions{}) // want "has a context.Context in scope but calls Pool.Submit"
+	return err
+}

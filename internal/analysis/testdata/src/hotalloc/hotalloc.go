@@ -1,0 +1,94 @@
+// Package hotalloc is a golden-test fixture for the hotpath-alloc check.
+// The golden test loads it masqueraded as "repro/internal/blas/hotfix" so
+// its Dgemm matches the hot-root set; everything reachable from it is hot,
+// coldSetup is not.
+package hotalloc
+
+import "fmt"
+
+// ErrShape mirrors the blas sentinel; package-level init is not a function
+// body and is never scanned.
+var ErrShape = fmt.Errorf("hotfix: shape")
+
+var sink any
+
+// Dgemm matches the hot root by name under the internal/blas tree. The
+// panic argument is the sanctioned cold path.
+func Dgemm(m, n int, c []float64) {
+	if m < 0 {
+		panic(fmt.Errorf("%w: m=%d", ErrShape, m))
+	}
+	for i := 0; i < m; i++ {
+		literals(n)
+	}
+	makes(n)
+	appends(n)
+	boxing(m)
+	closures(n)
+	valueLiteralClean(m, n)
+}
+
+type opts struct{ m, n int }
+
+func literals(n int) {
+	p := &opts{m: n} // want "&T\\{\\} escapes to the heap"
+	_ = p
+	s := []int{1, 2, n} // want "slice literal allocates its backing array"
+	_ = s
+	mp := map[string]int{"n": n} // want "map literal allocates"
+	_ = mp
+	ig := &opts{n: n} // calint:ignore hotpath-alloc -- fixture: sanctioned escape
+	_ = ig
+}
+
+func makes(n int) {
+	buf := make([]float64, n) // want "make\\(\\[\\]T\\) allocates"
+	_ = buf
+	m := make(map[int]int, n) // want "make\\(map\\) allocates"
+	_ = m
+	ch := make(chan int) // want "make\\(chan\\) allocates"
+	_ = ch
+	q := new(opts) // want "new\\(T\\) allocates"
+	_ = q
+}
+
+func appends(n int) []int {
+	var grow []int
+	grow = append(grow, n) // want "append without preallocated capacity"
+	out := make([]int, 0, n) // want "make\\(\\[\\]T\\) allocates"
+	out = append(out, n) // clean: presized in this function
+	return append(grow, out...) // want "append without preallocated capacity"
+}
+
+func boxing(v int) {
+	take(v)        // want "int value converted to interface allocates \\(boxing\\)"
+	sink = any(v)  // want "int value converted to interface allocates \\(boxing\\)"
+	take(&v)       // clean: pointers are interface-shaped
+	take(sink)     // clean: already an interface
+}
+
+func take(x any) { sink = x }
+
+func closures(n int) func() int {
+	f := func() int { return n } // want "closure captures n — heap allocation on every call"
+	for i := 0; i < 3; i++ {
+		g := func() int { return n + i } // want "closure captures i, n inside a loop — one heap allocation per iteration"
+		_ = g()
+	}
+	h := func(x int) int { return x } // clean: captures nothing
+	_ = h
+	return f
+}
+
+// valueLiteralClean: struct and array *value* literals stay on the stack.
+func valueLiteralClean(m, n int) int {
+	o := opts{m: m, n: n}
+	a := [2]int{m, n}
+	return o.m + a[1]
+}
+
+// coldSetup is not reachable from the root; its allocations are fine.
+func coldSetup() []int {
+	xs := []int{1, 2, 3}
+	return append(xs, 4)
+}

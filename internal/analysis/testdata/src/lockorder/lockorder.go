@@ -1,0 +1,136 @@
+// Package lockorder is a golden-test fixture for the lock-order check. The
+// golden test loads it masqueraded as "repro/internal/sched/lockfix" so the
+// lock-order scope applies; the same file loaded outside the scope (see
+// lockorderoos) produces no findings.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// AcquireAB takes muA then muB; together with AcquireBA this is the seeded
+// two-lock inversion the check must catch.
+func AcquireAB() {
+	muA.Lock()
+	muB.Lock() // want "acquiring repro/internal/sched/lockfix.muB while holding repro/internal/sched/lockfix.muA"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// AcquireBA inverts AcquireAB's order.
+func AcquireBA() {
+	muB.Lock()
+	muA.Lock() // want "acquiring repro/internal/sched/lockfix.muA while holding repro/internal/sched/lockfix.muB"
+	muA.Unlock()
+	muB.Unlock()
+}
+
+var (
+	muC sync.Mutex
+	muD sync.RWMutex
+)
+
+// ConsistentOuter and ConsistentBranch always take muC before muD — a
+// consistent order is clean, including through defer-Unlock and branches.
+func ConsistentOuter() {
+	muC.Lock()
+	defer muC.Unlock()
+	muD.Lock()
+	muD.Unlock()
+}
+
+func ConsistentBranch(cond bool) {
+	muC.Lock()
+	defer muC.Unlock()
+	if cond {
+		muD.RLock()
+		muD.RUnlock()
+	}
+}
+
+// LoopRelock releases before re-acquiring inside the loop, so the back edge
+// carries an empty held set — no self-deadlock.
+func LoopRelock(n int) {
+	for i := 0; i < n; i++ {
+		muC.Lock()
+		muC.Unlock()
+	}
+}
+
+// node's per-field lock identity makes hand-over-hand locking of two
+// instances a self-loop: re-acquiring a held, non-reentrant lock class.
+type node struct {
+	mu sync.Mutex
+}
+
+func (nd *node) handOverHand(child *node) {
+	nd.mu.Lock()
+	child.mu.Lock() // want "node.mu acquired while already held; potential self-deadlock"
+	child.mu.Unlock()
+	nd.mu.Unlock()
+}
+
+var (
+	muE sync.Mutex
+	muF sync.Mutex
+)
+
+// lockE acquires muE on behalf of callers; its summary propagates through
+// the call graph.
+func lockE() {
+	muE.Lock()
+	muE.Unlock()
+}
+
+// TransitiveInversion holds muF across a call that may acquire muE; paired
+// with DirectEF below, the cycle spans a call edge.
+func TransitiveInversion() {
+	muF.Lock()
+	lockE() // want "acquiring repro/internal/sched/lockfix.muE while holding repro/internal/sched/lockfix.muF"
+	muF.Unlock()
+}
+
+func DirectEF() {
+	muE.Lock()
+	muF.Lock() // want "acquiring repro/internal/sched/lockfix.muF while holding repro/internal/sched/lockfix.muE"
+	muF.Unlock()
+	muE.Unlock()
+}
+
+var (
+	muG sync.Mutex
+	muH sync.Mutex
+)
+
+// AcquireGH is one half of a cycle whose other half is sanctioned below;
+// only this unsuppressed edge is reported.
+func AcquireGH() {
+	muG.Lock()
+	muH.Lock() // want "acquiring repro/internal/sched/lockfix.muH while holding repro/internal/sched/lockfix.muG"
+	muH.Unlock()
+	muG.Unlock()
+}
+
+// SanctionedInversion documents its exception with an ignore comment.
+func SanctionedInversion() {
+	muH.Lock()
+	muG.Lock() // calint:ignore lock-order -- fixture: documented exception half of the G/H cycle
+	muG.Unlock()
+	muH.Unlock()
+}
+
+var muSpawn sync.Mutex
+
+// SpawnClean's goroutine body starts with a fresh held set: the spawned
+// acquisition of muB while muSpawn is held by the parent is not an edge.
+func SpawnClean() {
+	muSpawn.Lock()
+	go func() {
+		muB.Lock()
+		muB.Unlock()
+	}()
+	muSpawn.Unlock()
+}

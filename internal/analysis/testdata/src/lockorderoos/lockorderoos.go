@@ -1,0 +1,25 @@
+// Package lockorderoos carries the same inverted lock pair as the lockorder
+// fixture but is loaded masqueraded as "repro/internal/matrix/lockoos" —
+// outside the lock-order scope — so the golden test asserts zero findings.
+package lockorderoos
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+func AcquireAB() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func AcquireBA() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}

@@ -1,0 +1,51 @@
+//go:build !race
+
+// The race detector instruments allocations, so the zero-alloc gates only
+// run in the regular test job; the CI alloc-gate step invokes them by name
+// (-run ZeroAlloc).
+
+package blas
+
+import (
+	"testing"
+
+	"repro/internal/scratch"
+)
+
+// TestDgemmZeroAlloc pins the packed Dgemm steady state to zero heap
+// allocations: pack buffers come from internal/scratch and go back, and the
+// box-pooled headers make the round trip free. This is the runtime
+// complement of calint's hotpath-alloc check.
+func TestDgemmZeroAlloc(t *testing.T) {
+	const n = 512
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%7) * 0.5
+		b[i] = float64(i%5) * 0.25
+	}
+	run := func() {
+		Dgemm(NoTrans, NoTrans, n, n, n, 1.0, a, n, b, n, 0.0, c, n)
+	}
+	// Warm the scratch pools (first run allocates the pack buffers and
+	// their header boxes; every later run reuses them).
+	run()
+	run()
+	if avg := testing.AllocsPerRun(10, run); avg != 0 {
+		t.Fatalf("Dgemm(%d×%d) allocates %.1f objects per call in steady state, want 0", n, n, avg)
+	}
+}
+
+// TestScratchZeroAlloc pins the Get/Put round trip itself to zero
+// allocations once the buffer and its header box are pooled.
+func TestScratchZeroAlloc(t *testing.T) {
+	s := scratch.Get(1 << 12)
+	scratch.Put(s)
+	if avg := testing.AllocsPerRun(100, func() {
+		s := scratch.Get(1 << 12)
+		scratch.Put(s)
+	}); avg != 0 {
+		t.Fatalf("scratch Get/Put allocates %.1f objects per round trip, want 0", avg)
+	}
+}

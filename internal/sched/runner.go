@@ -93,17 +93,21 @@ func runOneShot(g *Graph, workers int, opt SubmitOptions) []Event {
 // recover barrier: an interceptor error fails the task without running it,
 // and an interceptor panic is captured like a task panic.
 func runTask(t *Task, ic Interceptor, worker int) (captured error) {
+	// calint:ignore hotpath-alloc -- the recover barrier is one closure per task, amortized by the task body it protects
 	defer func() {
 		if p := recover(); p != nil {
 			if err, ok := p.(error); ok {
+				// calint:ignore hotpath-alloc -- cold path: runs only after a task panicked
 				captured = fmt.Errorf("sched: task %d (%s) panicked: %w", t.ID, t.Label, err)
 			} else {
+				// calint:ignore hotpath-alloc -- cold path: runs only after a task panicked
 				captured = fmt.Errorf("sched: task %d (%s) panicked: %v", t.ID, t.Label, p)
 			}
 		}
 	}()
 	if ic != nil {
 		if err := ic(TaskInfo{Label: t.Label, Kind: t.Kind, Worker: worker}); err != nil {
+			// calint:ignore hotpath-alloc -- cold path: runs only when the interceptor rejects the task
 			return fmt.Errorf("sched: task %d (%s) failed: %w", t.ID, t.Label, err)
 		}
 	}

@@ -27,6 +27,14 @@ const minBits = 6
 // always fits.
 var pools [64 - minBits]sync.Pool
 
+// boxes recycles the *[]float64 headers the buffers are stored through:
+// without it every Put would heap-allocate a fresh header (&s escapes into
+// the pool), which is exactly the per-call allocation this package exists
+// to remove. Get drains a header into boxes; Put takes one back out, so the
+// steady state allocates nothing (the AllocsPerRun gate in internal/blas
+// holds the packed Dgemm path to zero).
+var boxes sync.Pool
+
 // bucket returns the index of the smallest bucket whose capacity holds n.
 func bucket(n int) int {
 	b := bits.Len(uint(n-1)) - minBits
@@ -44,7 +52,11 @@ func Get(n int) []float64 {
 	}
 	b := bucket(n)
 	if v := pools[b].Get(); v != nil {
-		return (*v.(*[]float64))[:n]
+		bp := v.(*[]float64)
+		s := (*bp)[:n]
+		*bp = nil
+		boxes.Put(bp)
+		return s
 	}
 	return make([]float64, n, 1<<(b+minBits))
 }
@@ -60,8 +72,14 @@ func Put(s []float64) {
 	// Floor to the largest bucket the capacity fully covers, so Get's
 	// round-up guarantee holds for everything stored in a bucket.
 	b := bits.Len(uint(c)) - 1 - minBits
-	s = s[:c]
-	pools[b].Put(&s)
+	var bp *[]float64
+	if v := boxes.Get(); v != nil {
+		bp = v.(*[]float64)
+	} else {
+		bp = new([]float64)
+	}
+	*bp = s[:c]
+	pools[b].Put(bp)
 }
 
 // Dense returns an r x c column-major matrix (stride r) backed by a pooled
