@@ -50,6 +50,9 @@ func main() {
 
 		obsOverhead = flag.Float64("obs-overhead", 0, "measure scheduler-instrumentation overhead on engine-reuse; exit 1 if it exceeds this percent")
 		obsRounds   = flag.Int("obs-rounds", 3, "with -obs-overhead: alternating on/off measurement rounds")
+
+		verifyOverhead = flag.Float64("verify-overhead", 0, "measure ABFT checksum-verification overhead on engine-reuse; exit 1 if it exceeds this percent")
+		verifyRounds   = flag.Int("verify-rounds", 3, "with -verify-overhead: alternating on/off measurement rounds")
 	)
 	flag.Parse()
 
@@ -74,6 +77,10 @@ func main() {
 	}
 	if *obsOverhead > 0 {
 		runObsOverhead(cfg, *obsOverhead, *obsRounds)
+		return
+	}
+	if *verifyOverhead > 0 {
+		runVerifyOverhead(cfg, *verifyOverhead, *verifyRounds)
 		return
 	}
 
@@ -140,6 +147,20 @@ func runGemm(cfg bench.Config, jsonPath string, minSpeedup float64, sample time.
 		}
 		fmt.Fprintf(os.Stderr, "gemm gate ok: square-512 speedup %.2fx >= %.2fx\n", got, minSpeedup)
 	}
+}
+
+// runVerifyOverhead runs the ABFT-verification overhead gate: engine-reuse
+// with checksum verification on vs off, best round each, failing when the
+// relative cost exceeds maxPct.
+func runVerifyOverhead(cfg bench.Config, maxPct float64, rounds int) {
+	res := bench.RunVerifyOverhead(cfg, rounds)
+	fmt.Printf("verify overhead: verified %.2f ms/op, unverified %.2f ms/op, overhead %.2f%% (%d rounds, best each)\n",
+		res.VerifiedMsPerOp, res.UnverifiedMsPerOp, res.OverheadPct, res.Rounds)
+	if res.OverheadPct > maxPct {
+		fmt.Fprintf(os.Stderr, "verify overhead gate: %.2f%% > allowed %.2f%%\n", res.OverheadPct, maxPct)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "verify overhead gate ok: %.2f%% <= %.2f%%\n", res.OverheadPct, maxPct)
 }
 
 // runObsOverhead runs the instrumentation-overhead gate: engine-reuse with

@@ -2,9 +2,11 @@
 // server exposing the self-healing factor.Engine. It accepts LU and QR
 // requests in JSON or raw binary encoding, maps the engine's typed errors
 // onto HTTP statuses (429 with Retry-After under overload, 422 for
-// singular inputs, 504 for expired deadlines), serves the engine's
-// robustness counters at /metrics, and drains gracefully on SIGTERM. See
-// doc/SERVICE.md for the wire contract and operational notes.
+// singular inputs, 503 with Retry-After for detected silent corruption,
+// 504 for expired deadlines), serves the engine's robustness counters at
+// /metrics, exposes liveness (/healthz) and drain-aware readiness
+// (/readyz) probes, and drains gracefully on SIGTERM. See doc/SERVICE.md
+// for the wire contract and operational notes.
 package main
 
 import (
@@ -44,6 +46,8 @@ func main() {
 	flag.IntVar(&cfg.engine.BatchMaxRequests, "batch-max-requests", 16, "flush a coalescing window early at this many requests")
 	flag.IntVar(&cfg.engine.BatchMaxDim, "batch-max-dim", 256, "largest matrix dimension eligible for coalescing")
 	flag.Float64Var(&cfg.engine.GrowthThreshold, "growth-threshold", 0, "default LU pivot-growth guardrail (0 = off)")
+	flag.BoolVar(&cfg.engine.VerifyChecksums, "verify", false, "force ABFT checksum verification on every request")
+	flag.IntVar(&cfg.engine.MaxPanelRecomputes, "max-panel-recomputes", 0, "corrupted-panel recompute budget per verified LU (0 = default 2, negative = escalate immediately)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight work")
 	flag.Parse()
 
@@ -123,8 +127,10 @@ func run(ctx context.Context, cfg serviceConfig, ready chan<- net.Addr) error {
 	case <-ctx.Done():
 	}
 
-	// Graceful drain: stop accepting, let in-flight requests finish within
-	// the budget, then drain the engine the same way.
+	// Graceful drain: flip /readyz to 503 first so load balancers stop
+	// routing here, then stop accepting, let in-flight requests finish
+	// within the budget, and drain the engine the same way.
+	srv.startDrain()
 	fmt.Fprintf(os.Stderr, "facsvc: shutting down (drain %v)\n", cfg.drainTimeout)
 	sctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout) // calint:ignore ctx-propagation -- shutdown outlives the cancelled serve context
 	defer cancel()

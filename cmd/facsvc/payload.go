@@ -49,6 +49,9 @@ type jsonRequest struct {
 	Options   jsonOptions `json:"options"`
 	TimeoutMS int         `json:"timeout_ms,omitempty"`
 	Cache     bool        `json:"cache,omitempty"`
+	// Verify arms ABFT checksum verification for this request (see
+	// factor.Options.Verify); the server may also force it on globally.
+	Verify bool `json:"verify,omitempty"`
 }
 
 // jsonLUResponse is the JSON response for /v1/lu: the packed factors (L
@@ -143,6 +146,7 @@ func decodeJSON(r *http.Request) (*request, error) {
 			Tree:            tree,
 			StructuredTree:  jr.Options.StructuredTree,
 			GrowthThreshold: jr.Options.GrowthThreshold,
+			Verify:          jr.Verify,
 		},
 		timeout: time.Duration(jr.TimeoutMS) * time.Millisecond,
 		cache:   jr.Cache,
@@ -220,6 +224,7 @@ func decodeBinary(r *http.Request) (*request, error) {
 			Tree:            tree,
 			StructuredTree:  r.URL.Query().Get("structured") == "1",
 			GrowthThreshold: growth,
+			Verify:          r.URL.Query().Get("verify") == "1",
 		},
 		timeout: time.Duration(timeoutMS) * time.Millisecond,
 		cache:   r.URL.Query().Get("cache") == "1",

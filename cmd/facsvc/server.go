@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/pprof"
+	"sync/atomic"
 	"time"
 
 	"repro/factor"
@@ -35,6 +36,12 @@ const statusClientClosedRequest = 499
 type server struct {
 	eng *factor.Engine
 	cfg factor.EngineConfig // for Retry-After; the engine keeps its own copy
+
+	// draining flips once on shutdown, before the listener stops accepting:
+	// /readyz reports 503 from then on so a load balancer pulls the
+	// instance while in-flight requests finish. /healthz stays 200 — the
+	// process is alive and must not be killed mid-drain.
+	draining atomic.Bool
 
 	reg      *obs.Registry
 	started  *obs.CounterVec   // facsvc_http_requests_started_total{op}
@@ -73,8 +80,21 @@ func (s *server) handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
 	return mux
 }
+
+// startDrain flips the readiness probe to 503. Called on shutdown before
+// http.Server.Shutdown so traffic stops being routed here first.
+func (s *server) startDrain() { s.draining.Store(true) }
 
 // retryAfterSeconds derives the Retry-After hint for 429 responses from the
 // engine's backoff configuration: the base retry delay, rounded up to whole
@@ -192,6 +212,12 @@ func (s *server) fail(w http.ResponseWriter, op string, err error) {
 		status = http.StatusBadRequest
 	case errors.Is(err, factor.ErrSingular):
 		status = http.StatusUnprocessableEntity
+	case errors.Is(err, factor.ErrCorrupted):
+		// Verified factorization detected unrecovered silent corruption:
+		// transient, not a property of the input, so the client should
+		// retry — after the engine's own backoff window.
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
 	case errors.Is(err, factor.ErrEngineClosed):
 		status = http.StatusServiceUnavailable
 	}

@@ -28,9 +28,39 @@ type ckey [sha256.Size]byte
 
 // cacheEntry is one resident result; val holds a *LUFactorization or
 // *QRFactorization shared by every hit (callers must treat it read-only).
+// sum is the FNV-1a digest of the resident factor matrix at insertion,
+// rechecked on every hit: a long-lived cache is exactly the memory a
+// slow bit rot accumulates in, so a mismatching entry is evicted and the
+// request refactors instead of serving corrupted factors forever.
 type cacheEntry struct {
 	key ckey
 	val any
+	sum uint64
+}
+
+// factorChecksum digests the result's in-place factor matrix (the payload
+// every hit hands out) word by word with FNV-1a. Allocation-free, so the
+// hit path stays pinned by the AllocsPerRun gate in alloc_test.go.
+func factorChecksum(v any) uint64 {
+	var a *Matrix
+	switch f := v.(type) {
+	case *LUFactorization:
+		a = f.res.A
+	case *QRFactorization:
+		a = f.res.A
+	default:
+		return 0
+	}
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for j := 0; j < a.Cols; j++ {
+		col := a.Data[j*a.Stride : j*a.Stride+a.Rows]
+		for _, x := range col {
+			h ^= math.Float64bits(x)
+			h *= prime
+		}
+	}
+	return h
 }
 
 // flight is one in-progress fill that identical concurrent requests join.
@@ -51,26 +81,30 @@ type resultCache struct {
 
 	// hits/misses/evictions are the engine's registered cache metrics
 	// (newEngineMetrics); the cache increments them, Stats and /metrics read
-	// them.
-	hits, misses, evictions *obs.Counter
+	// them. integrityEvictions counts entries dropped on a checksum
+	// mismatch.
+	hits, misses, evictions, integrityEvictions *obs.Counter
 }
 
 func newResultCache(capacity int, met *engineMetrics) *resultCache {
 	return &resultCache{
-		cap:       capacity,
-		ll:        list.New(),
-		entries:   make(map[ckey]*list.Element),
-		inflight:  make(map[ckey]*flight),
-		hits:      met.cacheHits,
-		misses:    met.cacheMisses,
-		evictions: met.cacheEvictions,
+		cap:                capacity,
+		ll:                 list.New(),
+		entries:            make(map[ckey]*list.Element),
+		inflight:           make(map[ckey]*flight),
+		hits:               met.cacheHits,
+		misses:             met.cacheMisses,
+		evictions:          met.cacheEvictions,
+		integrityEvictions: met.integrityEvictions,
 	}
 }
 
 // get returns the resident value for key, if any — the allocation-free hit
 // path. The cached entry points call it before constructing the fill
 // closure, so a steady-state hit performs no allocation at all (the
-// AllocsPerRun gate in alloc_test.go pins this).
+// AllocsPerRun gate in alloc_test.go pins this). The entry's checksum is
+// rechecked outside the lock; a mismatch evicts it and reports a miss, so
+// the caller refactors.
 func (c *resultCache) get(key ckey) (any, bool) {
 	c.mu.Lock()
 	el, ok := c.entries[key]
@@ -79,10 +113,28 @@ func (c *resultCache) get(key ckey) (any, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	v := el.Value.(*cacheEntry).val
+	ent := el.Value.(*cacheEntry)
+	v, want := ent.val, ent.sum
 	c.mu.Unlock()
+	if factorChecksum(v) != want {
+		c.dropCorrupted(key, el)
+		return nil, false
+	}
 	c.hits.Inc()
 	return v, true
+}
+
+// dropCorrupted evicts an entry whose resident factors no longer match
+// their insertion-time checksum. The element identity check tolerates the
+// race where a concurrent fill already replaced the entry.
+func (c *resultCache) dropCorrupted(key ckey, el *list.Element) {
+	c.mu.Lock()
+	if cur, ok := c.entries[key]; ok && cur == el {
+		c.ll.Remove(el)
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+	c.integrityEvictions.Inc()
 }
 
 // do returns the cached value for key, joining an identical in-flight fill
@@ -93,10 +145,17 @@ func (c *resultCache) do(ctx context.Context, key ckey, fn func() (any, error)) 
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
-		v := el.Value.(*cacheEntry).val
+		ent := el.Value.(*cacheEntry)
+		v, want := ent.val, ent.sum
 		c.mu.Unlock()
-		c.hits.Inc()
-		return v, true, nil
+		if factorChecksum(v) == want {
+			c.hits.Inc()
+			return v, true, nil
+		}
+		// Resident entry failed its integrity check: evict it and fall
+		// through to the fill path as a miss.
+		c.dropCorrupted(key, el)
+		c.mu.Lock()
 	}
 	if f, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
@@ -117,10 +176,14 @@ func (c *resultCache) do(ctx context.Context, key ckey, fn func() (any, error)) 
 
 	f.val, f.err = fn()
 
+	sum := uint64(0)
+	if f.err == nil {
+		sum = factorChecksum(f.val)
+	}
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if f.err == nil {
-		c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: f.val})
+		c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: f.val, sum: sum})
 		for c.ll.Len() > c.cap {
 			tail := c.ll.Back()
 			c.ll.Remove(tail)

@@ -48,6 +48,13 @@ type TaskInfo = sched.TaskInfo
 // engines leave it nil and pay a single nil-check per task.
 type TaskInterceptor = sched.Interceptor
 
+// TaskPostInterceptor runs after every task on the engine's pool that
+// exposes an output buffer, with write access to that buffer. It is the
+// hook the chaos injector's silent-corruption rules plug into (ABFT
+// verification must detect whatever it plants). Production engines leave
+// it nil.
+type TaskPostInterceptor = sched.PostInterceptor
+
 // EngineConfig configures a self-healing engine. The zero value of every
 // field is a sensible default: unbounded admission, no retries, no
 // watchdog, no growth guardrail, no interceptor.
@@ -81,6 +88,10 @@ type EngineConfig struct {
 	// Interceptor, when non-nil, runs before every task on the pool. Used
 	// by chaos tests to inject faults; see internal/fault.
 	Interceptor TaskInterceptor
+	// PostInterceptor, when non-nil, runs after every task on the pool
+	// that exposes an output buffer. Used by chaos tests to plant silent
+	// data corruption for ABFT verification to catch; see internal/fault.
+	PostInterceptor TaskPostInterceptor
 	// CacheEntries bounds the content-addressed result cache used by the
 	// LUCachedCtx/QRCachedCtx entry points: up to this many factorizations
 	// are retained in an LRU keyed by the input's bytes and the numeric
@@ -105,6 +116,17 @@ type EngineConfig struct {
 	// (e.g. "facsvc_engine" → facsvc_engine_retries_total). Empty means
 	// "engine".
 	MetricsNamespace string
+	// VerifyChecksums arms ABFT checksum verification (Options.Verify) for
+	// every request on this engine, whether or not the request asked for it.
+	// Detections and recoveries are counted in Stats and /metrics; an
+	// unrecoverable mismatch fails the attempt with ErrCorrupted, which is
+	// transient and retried when MaxRetries allows. See doc/ROBUSTNESS.md.
+	VerifyChecksums bool
+	// MaxPanelRecomputes bounds how many corrupted CALU panels a single
+	// verified factorization may recompute locally before escalating to
+	// ErrCorrupted. 0 means 2; negative disables local recovery (every
+	// detection escalates).
+	MaxPanelRecomputes int
 }
 
 // Stats is a snapshot of an engine's self-healing counters.
@@ -131,6 +153,15 @@ type Stats struct {
 	// since it started. It is monotonic: a request served entirely from
 	// the cache leaves it unchanged.
 	PoolTasks int64
+	// CorruptionsDetected counts ABFT checksum mismatches flagged by
+	// verified factorizations; PanelsRecomputed counts the ones repaired in
+	// place by a panel recompute; VerifyFailRetries counts full-request
+	// retries taken because an attempt failed with ErrCorrupted.
+	CorruptionsDetected, PanelsRecomputed, VerifyFailRetries int64
+	// CacheIntegrityEvictions counts result-cache entries evicted because
+	// their stored checksum no longer matched the resident factors (the
+	// request then refactors as a miss).
+	CacheIntegrityEvictions int64
 }
 
 // Engine is a persistent factorization service: one fixed pool of worker
@@ -220,6 +251,9 @@ func NewEngineWithConfig(cfg EngineConfig) *Engine {
 	if cfg.Interceptor != nil {
 		e.pool.SetInterceptor(cfg.Interceptor)
 	}
+	if cfg.PostInterceptor != nil {
+		e.pool.SetPostInterceptor(cfg.PostInterceptor)
+	}
 	if cfg.StallTimeout > 0 {
 		e.stopWatch = make(chan struct{})
 		e.watchDone = make(chan struct{})
@@ -254,6 +288,11 @@ func (e *Engine) Stats() Stats {
 		CacheEvictions:  e.met.cacheEvictions.Value(),
 		BatchFlushes:    e.met.batchFlushes.Value(),
 		PoolTasks:       int64(e.pool.CompletedTasks()),
+
+		CorruptionsDetected:     e.met.corruptions.Value(),
+		PanelsRecomputed:        e.met.panelRecomputes.Value(),
+		VerifyFailRetries:       e.met.verifyFailRetries.Value(),
+		CacheIntegrityEvictions: e.met.integrityEvictions.Value(),
 	}
 }
 
@@ -496,6 +535,12 @@ func (e *Engine) serve(ctx context.Context, a *Matrix, run func(context.Context)
 		if attempt >= e.cfg.MaxRetries || !retryable(err) || ctx.Err() != nil {
 			return err
 		}
+		if errors.Is(err, ErrCorrupted) {
+			// The attempt died on an unrecovered checksum mismatch; the
+			// retry about to happen is the ABFT escalation ladder's last
+			// rung, counted separately from generic retries.
+			e.met.verifyFailRetries.Inc()
+		}
 		if werr := e.backoff(ctx, attempt); werr != nil {
 			return err
 		}
@@ -503,14 +548,26 @@ func (e *Engine) serve(ctx context.Context, a *Matrix, run func(context.Context)
 }
 
 // engineOptions pins the scheduling knobs the engine owns: the worker
-// count is the pool's, not the caller's, and the engine's default growth
-// threshold applies when the request does not set its own.
+// count is the pool's, not the caller's, the engine's default growth
+// threshold applies when the request does not set its own, and
+// VerifyChecksums arms ABFT verification regardless of the request. The
+// detection callbacks feed the engine's registered metrics; they are
+// ignored by the cache key, which hashes only the numeric knobs.
 func (e *Engine) engineOptions(opt Options) core.Options {
 	opt.Workers = e.workers
 	if opt.GrowthThreshold == 0 {
 		opt.GrowthThreshold = e.cfg.GrowthThreshold
 	}
-	return opt.internal()
+	iopt := opt.internal()
+	if e.cfg.VerifyChecksums {
+		iopt.Verify = true
+	}
+	if iopt.Verify {
+		iopt.MaxPanelRecomputes = e.cfg.MaxPanelRecomputes
+		iopt.OnCorruption = func(int) { e.met.corruptions.Inc() }
+		iopt.OnPanelRecompute = func(int) { e.met.panelRecomputes.Inc() }
+	}
+	return iopt
 }
 
 // mapErr rewrites internal sentinels into the engine's public vocabulary:

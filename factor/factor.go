@@ -111,6 +111,20 @@ type Options struct {
 	// Trace records per-task execution events, retrievable via the result
 	// handles' Events fields.
 	Trace bool
+	// Verify arms algorithm-based fault tolerance: column checksums of the
+	// input are carried through the factorization and checked at every panel
+	// boundary, so silent data corruption (a flipped bit in a task's output)
+	// is detected instead of shipped. A corrupted CALU panel is recomputed
+	// once from its pristine source; anything unrecoverable fails with
+	// ErrCorrupted, which a retrying engine treats as transient. Overhead is
+	// O(mn) checksum work against the O(mn^2) factorization. See
+	// doc/ROBUSTNESS.md.
+	Verify bool
+	// VerifyTolerance scales the checksum comparison: predicted and actual
+	// column sums must agree within VerifyTolerance * m * max|A|. 0 means
+	// 1e-8 — orders of magnitude above roundoff, orders below any injected
+	// fault.
+	VerifyTolerance float64
 }
 
 func (o Options) internal() core.Options {
@@ -132,6 +146,8 @@ func (o Options) internal() core.Options {
 		StructuredTree:  o.StructuredTree,
 		GrowthThreshold: o.GrowthThreshold,
 		Trace:           o.Trace,
+		Verify:          o.Verify,
+		VerifyTolerance: o.VerifyTolerance,
 	}
 }
 
@@ -150,6 +166,14 @@ var ErrSingular = tslu.ErrSingular
 // matrix. Both report it as a wrapped error (test with errors.Is) instead
 // of panicking, so a long-lived service can reject bad requests cheaply.
 var ErrShape = core.ErrShape
+
+// ErrCorrupted is returned by verified factorizations (Options.Verify or
+// EngineConfig.VerifyChecksums) when an ABFT checksum mismatch survives
+// local panel recovery. The input was silently corrupted mid-run — a
+// transient fault, not a property of the matrix — so the error is
+// retryable: a self-healing engine restores the input and refactors, and a
+// serving front end maps it to 503 with Retry-After.
+var ErrCorrupted = core.ErrCorrupted
 
 // TaskEvent is one traced task execution: which kind of task (P, L, U or S
 // in the paper's nomenclature), on which worker, over which wall-clock
@@ -222,6 +246,11 @@ func (f *LUFactorization) Events() []TaskEvent {
 // re-factored with GEPP (see Options.GrowthThreshold), in ascending order.
 // Empty when the guardrail is off or never tripped.
 func (f *LUFactorization) FallbackPanels() []int { return f.res.FallbackPanels }
+
+// RecomputedPanels lists the panel iterations the ABFT gate recomputed from
+// pristine source after detecting corruption (see Options.Verify), in
+// ascending order. Empty when verification is off or nothing was detected.
+func (f *LUFactorization) RecomputedPanels() []int { return f.res.RecomputedPanels }
 
 // QRFactorization is the result of QR: A = Q*R with R upper triangular in
 // the input matrix and Q held implicitly (leaf reflectors in the matrix,

@@ -28,6 +28,11 @@ type engineMetrics struct {
 
 	batchFlushes *obs.Counter
 
+	corruptions        *obs.Counter
+	panelRecomputes    *obs.Counter
+	verifyFailRetries  *obs.Counter
+	integrityEvictions *obs.Counter
+
 	// requestSeconds is the end-to-end request latency (admission through
 	// result, retries included), labeled op="lu"|"qr". Only successful
 	// requests are observed: shed and failed requests would pollute the
@@ -60,6 +65,14 @@ func newEngineMetrics(ns string, pool *sched.Pool) *engineMetrics {
 			"Factorization attempts served through a coalesced submission."),
 		batchFlushes: reg.Counter(ns+"_batch_flushes_total",
 			"Merged submissions issued for coalesced requests."),
+		corruptions: reg.Counter(ns+"_corruptions_detected_total",
+			"ABFT checksum mismatches flagged by verified factorizations."),
+		panelRecomputes: reg.Counter(ns+"_panels_recomputed_total",
+			"Corrupted CALU panels repaired in place by a recompute."),
+		verifyFailRetries: reg.Counter(ns+"_verify_fail_retries_total",
+			"Full-request retries taken after an attempt failed with ErrCorrupted."),
+		integrityEvictions: reg.Counter(ns+"_cache_integrity_evictions_total",
+			"Result-cache entries evicted on a checksum mismatch against their stored digest."),
 		requestSeconds: reg.HistogramVec(ns+"_request_seconds",
 			"End-to-end latency of successful factorization requests, by op.",
 			nil, "op"),

@@ -1,0 +1,150 @@
+package abft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+)
+
+func randDense(rng *rand.Rand, r, c int) *matrix.Dense {
+	a := matrix.New(r, c)
+	for j := 0; j < c; j++ {
+		col := a.Col(j)
+		for i := range col {
+			col[i] = rng.NormFloat64()
+		}
+	}
+	return a
+}
+
+func TestColumnSums(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	sums := make([]float64, 2)
+	ColumnSums(a, sums)
+	if sums[0] != 9 || sums[1] != 12 {
+		t.Fatalf("sums = %v, want [9 12]", sums)
+	}
+}
+
+// TestVerifyGEPPPanel factors a random panel with partial pivoting and
+// checks that the column-sum identity holds on the clean factor and breaks
+// when any single element is corrupted.
+func TestVerifyGEPPPanel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	panel := randDense(rng, 12, 5)
+	ws := make([]float64, 5)
+	ColumnSums(panel, ws)
+	ipiv := make([]int, 5)
+	if err := lapack.GETF2(panel, ipiv); err != nil {
+		t.Fatal(err)
+	}
+	tol := 1e-10 * 12 * 5
+	if !VerifyGEPPPanel(panel, ws, tol) {
+		t.Fatal("clean GEPP panel failed verification")
+	}
+	for j := 0; j < panel.Cols; j++ {
+		for i := 0; i < panel.Rows; i++ {
+			save := panel.At(i, j)
+			panel.Set(i, j, save+0.5)
+			if VerifyGEPPPanel(panel, ws, tol) {
+				t.Fatalf("corruption at (%d,%d) not detected", i, j)
+			}
+			panel.Set(i, j, save)
+		}
+	}
+	// NaN corruption must also be caught.
+	panel.Set(3, 2, math.NaN())
+	if VerifyGEPPPanel(panel, ws, tol) {
+		t.Fatal("NaN corruption not detected")
+	}
+}
+
+// TestVerifyLUColumns runs the full-matrix identity: factor A = P^T L U in
+// place, accumulate L sums per panel, and check every column against the
+// original column sums.
+func TestVerifyLUColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 16
+	a := randDense(rng, n, n)
+	ws := make([]float64, n)
+	ColumnSums(a, ws)
+	ipiv := make([]int, n)
+	if err := lapack.GETF2(a, ipiv); err != nil {
+		t.Fatal(err)
+	}
+	vs := make([]float64, n)
+	AccumulateLSums(a, 0, n, vs)
+	tol := 1e-10 * float64(n*n)
+	if bad := VerifyLUColumns(a, 0, n, vs, ws, tol); bad != -1 {
+		t.Fatalf("clean factorization flagged at column %d", bad)
+	}
+	// Corrupt one U entry: every column at or after it must still pass
+	// except the corrupted one.
+	a.Set(2, 9, a.At(2, 9)+1)
+	if bad := VerifyLUColumns(a, 0, n, vs, ws, tol); bad != 9 {
+		t.Fatalf("corrupted column not localized: got %d, want 9", bad)
+	}
+}
+
+// TestVerifyLUPanelSums checks the tournament-composite form of the
+// identity: a GEPP factorization of selected rows, verified against the
+// pristine source rows through an index vector.
+func TestVerifyLUPanelSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randDense(rng, 20, 8)
+	// "Winner" rows 4..8 of columns 2..7 form the candidate block.
+	idx := []int{4, 5, 6, 7, 8}
+	c0, w := 2, 5
+	fac := matrix.New(len(idx), w)
+	for j := 0; j < w; j++ {
+		for i, r := range idx {
+			fac.Set(i, j, a.At(r, c0+j))
+		}
+	}
+	ipiv := make([]int, w)
+	if err := lapack.GETF2(fac, ipiv); err != nil {
+		t.Fatal(err)
+	}
+	// GETF2 permutes fac's rows; permute idx the same way so fac remains
+	// the factorization of rows idx in that order.
+	for j, p := range ipiv {
+		idx[j], idx[p] = idx[p], idx[j]
+	}
+	tol := 1e-10 * 20 * 8
+	if !VerifyLUPanel(a, idx, fac, c0, tol) {
+		t.Fatal("clean composite failed verification")
+	}
+	fac.Set(1, 3, fac.At(1, 3)*1.25)
+	if VerifyLUPanel(a, idx, fac, c0, tol) {
+		t.Fatal("corrupted composite not detected")
+	}
+}
+
+// TestVerifyQRColumns exercises the QR identity with an explicit 2x2
+// rotation: A = Q R, u = Q^T e.
+func TestVerifyQRColumns(t *testing.T) {
+	c, s := math.Cos(0.3), math.Sin(0.3)
+	r11, r12, r22 := 2.0, -1.0, 1.5
+	// A = Q * R with Q = [[c,-s],[s,c]].
+	a := matrix.FromRows([][]float64{
+		{c * r11, c*r12 - s*r22},
+		{s * r11, s*r12 + c*r22},
+	})
+	ws := make([]float64, 2)
+	ColumnSums(a, ws)
+	// Stored factorization: R in the upper triangle (below it would be the
+	// Householder vector, which the check must ignore).
+	fact := matrix.FromRows([][]float64{{r11, r12}, {12345, r22}})
+	u := []float64{c + s, -s + c} // Q^T * ones
+	tol := 1e-12 * 4
+	if bad := VerifyQRColumns(fact, u, 0, 2, ws, tol); bad != -1 {
+		t.Fatalf("clean QR flagged at column %d", bad)
+	}
+	fact.Set(0, 1, r12+0.25)
+	if bad := VerifyQRColumns(fact, u, 0, 2, ws, tol); bad != 1 {
+		t.Fatalf("corrupted R not localized: got %d, want 1", bad)
+	}
+}

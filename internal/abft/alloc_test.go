@@ -1,0 +1,45 @@
+//go:build !race
+
+// The race detector instruments allocations, so the zero-alloc gate only
+// runs in the regular test job; the CI alloc-gate step invokes it by name
+// (-run ZeroAlloc).
+
+package abft
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lapack"
+)
+
+// TestVerifyZeroAlloc pins the verification kernels to zero allocations per
+// call (after scratch warmup) — they run on every panel in verify mode.
+func TestVerifyZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 64
+	a := randDense(rng, n, n)
+	ws := make([]float64, n)
+	vs := make([]float64, n)
+	ColumnSums(a, ws)
+	ipiv := make([]int, n)
+	if err := lapack.GETF2(a, ipiv); err != nil {
+		t.Fatal(err)
+	}
+	AccumulateLSums(a, 0, n, vs)
+	panel := randDense(rng, n, 8)
+	pw := make([]float64, 8)
+	ColumnSums(panel, pw)
+	// Warm the scratch pool.
+	VerifyGEPPPanel(panel, pw, 1)
+	allocs := testing.AllocsPerRun(20, func() {
+		ColumnSums(a, ws)
+		AccumulateLSums(a, 0, n, vs)
+		VerifyLUColumns(a, 0, n, vs, ws, 1e300)
+		VerifyGEPPPanel(panel, pw, 1e300)
+		VerifyQRColumns(a, vs, 0, n, ws, 1e300)
+	})
+	if allocs != 0 {
+		t.Fatalf("verification kernels allocate: %v allocs/run", allocs)
+	}
+}

@@ -56,6 +56,9 @@ func TestGolden(t *testing.T) {
 		// root, and mixed atomic/plain field access.
 		{dir: "lockorder", as: "repro/internal/sched/lockfix", program: true},
 		{dir: "hotalloc", as: "repro/internal/blas/hotfix", program: true},
+		// The ABFT checksum-verification roots: allocating constructs
+		// reachable from a VerifyLUColumns-shaped root under internal/abft.
+		{dir: "hotverify", as: "repro/internal/abft/hotfix", program: true},
 		{dir: "atomicdisc", as: "repro/internal/atomfix", program: true},
 		// Scope probe: the same inverted lock pair outside the lock-order
 		// scope is not a finding.

@@ -50,6 +50,15 @@ var hotRoots = []struct{ pkg, name string }{
 	{"internal/blas", "packB"},
 	{"internal/blas", "macroKernel"},
 	{"internal/sched", "runTask"},
+	// ABFT checksum verification runs once per panel inside the task graph
+	// (V and finalize tasks); an allocation here taxes every verified
+	// factorization and shows up in the cabench verify-overhead gate.
+	{"internal/abft", "ColumnSums"},
+	{"internal/abft", "AccumulateLSums"},
+	{"internal/abft", "VerifyLUColumns"},
+	{"internal/abft", "VerifyLUPanel"},
+	{"internal/abft", "VerifyGEPPPanel"},
+	{"internal/abft", "VerifyQRColumns"},
 }
 
 // hotExcludedPkgs are packages whose functions are the sanctioned

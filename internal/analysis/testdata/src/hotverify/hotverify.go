@@ -1,0 +1,62 @@
+// Package hotverify is a golden-test fixture for the hotpath-alloc
+// check's ABFT roots. The golden test loads it masqueraded as
+// "repro/internal/abft/hotfix" so its VerifyLUColumns matches the
+// hot-root set; everything reachable from it is hot, coldReport is not,
+// and internal/scratch stays the sanctioned allocator.
+package hotverify
+
+import (
+	"fmt"
+
+	"repro/internal/scratch"
+)
+
+var sink any
+
+// VerifyLUColumns matches the abft hot root by name under the
+// internal/abft tree. The panic argument is the sanctioned cold path.
+func VerifyLUColumns(col, vsums, wsums []float64, tol float64) int {
+	if len(vsums) != len(wsums) {
+		panic(fmt.Errorf("hotfix: checksum length %d != %d", len(vsums), len(wsums)))
+	}
+	for j := range wsums {
+		if mismatch(col, vsums, wsums[j], tol) {
+			return j
+		}
+	}
+	predSums(col, vsums)
+	return -1
+}
+
+// mismatch is hot via the root; its temporaries must come from scratch.
+func mismatch(col, vsums []float64, want, tol float64) bool {
+	pred := scratch.Get(len(col)) // clean: sanctioned allocator
+	defer scratch.Put(pred)
+	diffs := make([]float64, len(col)) // want "make\\(\\[\\]T\\) allocates"
+	bad := map[int]bool{}              // want "map literal allocates"
+	s := 0.0
+	for t := range col {
+		pred[t] = vsums[t] * col[t]
+		diffs[t] = pred[t] - want
+		s += pred[t]
+	}
+	_ = bad
+	return s-want > tol || want-s > tol
+}
+
+// predSums shows the boxing and closure findings on the verify path.
+func predSums(col, vsums []float64) {
+	var grow []float64
+	for t := range col {
+		grow = append(grow, vsums[t]*col[t]) // want "append without preallocated capacity"
+		f := func() float64 { return col[t] } // want "closure captures col, t inside a loop — one heap allocation per iteration"
+		_ = f
+	}
+	sink = any(len(grow)) // want "int value converted to interface allocates \\(boxing\\)"
+}
+
+// coldReport is not reachable from the root; its allocations are fine.
+func coldReport(j int) string {
+	parts := []string{"column", fmt.Sprint(j)}
+	return parts[0] + " " + parts[1]
+}

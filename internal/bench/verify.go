@@ -1,0 +1,85 @@
+package bench
+
+// ABFT verification overhead gate: checksum-guarded factorization
+// (factor.Options.Verify) adds O(mn) column-sum work per panel against the
+// O(mn^2) factorization, and must stay cheap enough to arm fleet-wide.
+// RunVerifyOverhead times the engine-reuse workload with verification on
+// and off in alternating rounds of the same process and compares the best
+// round of each side, exactly like the obs-overhead gate. cmd/cabench
+// -verify-overhead wires this into CI with a percentage ceiling.
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/factor"
+)
+
+// VerifyOverheadResult is one paired measurement of the ABFT checksum cost.
+type VerifyOverheadResult struct {
+	// Rounds is how many on/off pairs ran; the reported times are the
+	// minimum over rounds (the least-disturbed run of each side).
+	Rounds int `json:"rounds"`
+	// VerifiedMsPerOp and UnverifiedMsPerOp are the best engine-reuse times
+	// with checksum verification on and off.
+	VerifiedMsPerOp   float64 `json:"verified_ms_per_op"`
+	UnverifiedMsPerOp float64 `json:"unverified_ms_per_op"`
+	// OverheadPct is 100 * (on - off) / off; negative values (noise) mean
+	// the verified side happened to run faster.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// RunVerifyOverhead measures the checksum-verification overhead on the
+// engine-reuse workload. rounds <= 0 defaults to 3.
+func RunVerifyOverhead(cfg Config, rounds int) *VerifyOverheadResult {
+	if rounds <= 0 {
+		rounds = 3
+	}
+	const (
+		m, n, nb = 1000, 200, 100
+		iters    = 10
+	)
+	orig := factor.Random(m, n, 3)
+
+	// measure times one engine-reuse pass with verification set per round;
+	// the engine itself is identical both ways, so the difference isolates
+	// the checksum scan, the L-sum accumulation and the V/fin gates.
+	measure := func(on bool) float64 {
+		eng := factor.NewEngine(4)
+		defer eng.Close()
+		opt := factor.Options{BlockSize: nb, PanelThreads: 4, Verify: on}
+		if _, err := eng.LU(orig.Clone(), opt); err != nil {
+			panic(fmt.Sprintf("bench: verify-overhead warmup LU failed: %v", err))
+		}
+		var total time.Duration
+		for i := 0; i < iters; i++ {
+			a := orig.Clone()
+			start := time.Now()
+			if _, err := eng.LU(a, opt); err != nil {
+				panic(fmt.Sprintf("bench: verify-overhead LU failed: %v", err))
+			}
+			total += time.Since(start)
+		}
+		return total.Seconds() * 1e3 / iters
+	}
+
+	minOn, minOff := math.Inf(1), math.Inf(1)
+	for r := 0; r < rounds; r++ {
+		progress(cfg, "verify-overhead round %d/%d: verified...", r+1, rounds)
+		on := measure(true)
+		progress(cfg, "verify-overhead round %d/%d: unverified...", r+1, rounds)
+		off := measure(false)
+		minOn = math.Min(minOn, on)
+		minOff = math.Min(minOff, off)
+	}
+	res := &VerifyOverheadResult{
+		Rounds:            rounds,
+		VerifiedMsPerOp:   minOn,
+		UnverifiedMsPerOp: minOff,
+	}
+	if minOff > 0 {
+		res.OverheadPct = 100 * (minOn - minOff) / minOff
+	}
+	return res
+}

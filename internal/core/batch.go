@@ -37,7 +37,11 @@ func PrepareCALU(a *matrix.Dense, opt Options) (*PreparedLU, error) {
 	if err := validateInput(a); err != nil {
 		return nil, err
 	}
-	maxA, err := scanFinite(a)
+	var wsums []float64
+	if opt.Verify {
+		wsums = make([]float64, a.Cols)
+	}
+	maxA, err := scanFinite(a, wsums)
 	if err != nil {
 		return nil, err
 	}
@@ -52,6 +56,11 @@ func PrepareCALU(a *matrix.Dense, opt Options) (*PreparedLU, error) {
 	b := newCALUBuilder(a.Rows, a.Cols, &opt)
 	b.bind(a, res)
 	b.maxA = maxA
+	if opt.Verify {
+		b.wsums = wsums
+		b.vsums = make([]float64, a.Cols)
+		b.recomputed = make([]bool, b.nb)
+	}
 	b.build()
 	return &PreparedLU{b: b, res: res}, nil
 }
@@ -73,6 +82,11 @@ func (p *PreparedLU) Finish(runErr error) (*LUResult, error) {
 	for k, fb := range p.b.fellBack {
 		if fb {
 			res.FallbackPanels = append(res.FallbackPanels, k)
+		}
+	}
+	for k, rc := range p.b.recomputed {
+		if rc {
+			res.RecomputedPanels = append(res.RecomputedPanels, k)
 		}
 	}
 	if runErr != nil {
@@ -104,7 +118,12 @@ func PrepareCAQR(a *matrix.Dense, opt Options) (*PreparedQR, error) {
 	if err := validateInput(a); err != nil {
 		return nil, err
 	}
-	if _, err := scanFinite(a); err != nil {
+	var wsums []float64
+	if opt.Verify {
+		wsums = make([]float64, a.Cols)
+	}
+	maxA, err := scanFinite(a, wsums)
+	if err != nil {
 		return nil, err
 	}
 	if a.Rows < a.Cols {
@@ -117,6 +136,11 @@ func PrepareCAQR(a *matrix.Dense, opt Options) (*PreparedQR, error) {
 	res := &QRResult{A: a}
 	b := newCAQRBuilder(a.Rows, a.Cols, &opt)
 	b.bind(a, res)
+	b.maxA = maxA
+	if opt.Verify {
+		b.wsums = wsums
+		b.u = onesVector(a.Rows)
+	}
 	b.build()
 	return &PreparedQR{b: b, res: res}, nil
 }

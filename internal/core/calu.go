@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/abft"
 	"repro/internal/blas"
 	"repro/internal/lapack"
 	"repro/internal/matrix"
@@ -28,6 +29,10 @@ type LUResult struct {
 	// guardrail re-factored with GEPP (see Options.GrowthThreshold), in
 	// ascending order. Empty when the guardrail is off or never tripped.
 	FallbackPanels []int
+	// RecomputedPanels lists the iterations whose panel verify mode
+	// (Options.Verify) recomputed in place after a checksum mismatch, in
+	// ascending order. Empty when verify is off or nothing was corrupted.
+	RecomputedPanels []int
 }
 
 // ApplyPerm applies the factorization's full row permutation P to b
@@ -92,7 +97,11 @@ func CALUWithPoolCtx(ctx context.Context, a *matrix.Dense, opt Options, pool *sc
 	if err := validateInput(a); err != nil {
 		return nil, err
 	}
-	maxA, err := scanFinite(a)
+	var wsums []float64
+	if opt.Verify {
+		wsums = make([]float64, a.Cols)
+	}
+	maxA, err := scanFinite(a, wsums)
 	if err != nil {
 		return nil, err
 	}
@@ -117,6 +126,11 @@ func CALUWithPoolCtx(ctx context.Context, a *matrix.Dense, opt Options, pool *sc
 	b := newCALUBuilder(a.Rows, a.Cols, &opt)
 	b.bind(a, res)
 	b.maxA = maxA
+	if opt.Verify {
+		b.wsums = wsums[:a.Cols]
+		b.vsums = make([]float64, a.Cols)
+		b.recomputed = make([]bool, b.nb)
+	}
 	b.build()
 	events, err := runGraph(ctx, b.g, &opt, pool)
 	res.Events = events
@@ -125,6 +139,11 @@ func CALUWithPoolCtx(ctx context.Context, a *matrix.Dense, opt Options, pool *sc
 	for k, fb := range b.fellBack {
 		if fb {
 			res.FallbackPanels = append(res.FallbackPanels, k)
+		}
+	}
+	for k, rc := range b.recomputed {
+		if rc {
+			res.RecomputedPanels = append(res.RecomputedPanels, k)
 		}
 	}
 	if err != nil {
@@ -173,6 +192,44 @@ type caluBuilder struct {
 	errs     []error
 	maxA     float64 // max|A| of the input, guardrail denominator
 	fellBack []bool  // per iteration: growth guardrail took the GEPP path
+
+	// Verify-mode state (nil / zero unless Options.Verify is set and the
+	// builder is bound). wsums holds the pristine input's column sums;
+	// vsums accumulates the finished L columns' sums, one panel per V task
+	// (the V tasks form a chain, so vsums needs no lock). nRecomp is only
+	// touched by finalize tasks, which are transitively ordered.
+	wsums      []float64
+	vsums      []float64
+	vprev      *sched.Task // previous panel's V task (chain)
+	vpoison    bool        // a singular panel invalidated the checksum chain
+	nRecomp    int         // panel recomputations spent against MaxPanelRecomputes
+	recomputed []bool      // per iteration: panel recomputed after corruption
+}
+
+// verifyOn reports whether this builder checks ABFT invariants: bound, with
+// Options.Verify set.
+func (b *caluBuilder) verifyOn() bool { return b.a != nil && b.opt.Verify }
+
+// vtol is the absolute checksum tolerance: predicted and actual column sums
+// agree to roughly machine precision times the sum's own magnitude (at most
+// m entries of size max|A|, times modest growth), so VerifyTolerance * m *
+// max|A| leaves orders of magnitude of slack below any injected fault.
+func (b *caluBuilder) vtol() float64 {
+	return b.opt.VerifyTolerance * float64(b.m) * b.maxA
+}
+
+// taintedBefore reports whether any panel before k failed: a rank-deficient
+// panel leaves the trailing matrix meaningless (the zero-diagonal Trsm
+// produces non-finite values), so downstream checksum gates must not
+// misreport the wreckage as corruption. Finalize tasks are transitively
+// ordered, so reading earlier panels' errors here is race-free.
+func (b *caluBuilder) taintedBefore(k int) bool {
+	for j := 0; j < k; j++ {
+		if b.errs[j] != nil {
+			return true
+		}
+	}
+	return false
 }
 
 func newCALUBuilder(m, n int, opt *Options) *caluBuilder {
@@ -254,6 +311,9 @@ func (b *caluBuilder) buildIteration(k int) {
 		if b.a != nil {
 			block := b.a.View(lo, c0, rows, w)
 			t.Run = func() { cands[i] = tslu.Leaf(block, lo) }
+			// The candidate rows are what flows up the tournament; the root
+			// node's Out is overridden below to its composite factor.
+			t.Out = func() []float64 { return candRows(cands, i) }
 		}
 		b.g.Add(t)
 		b.dep(t, b.fronts[k].read(lo, hi)...)
@@ -302,12 +362,24 @@ func (b *caluBuilder) buildIteration(k int) {
 				}
 				cands[slot] = tslu.MergeMany(cs)
 			}
+			t.Out = func() []float64 { return candRows(cands, slot) }
 		}
 		b.g.Add(t)
 		b.dep(t, deps...)
 		nodes = append(nodes, nodeRef{task: t, slot: slot, k: min(total, w)})
 	}
 	rootRef := nodes[len(nodes)-1]
+	if b.a != nil {
+		// The tournament root's consequential output is its composite factor
+		// (finalize reads Fac and Idx; a root's candidate rows go nowhere).
+		rootSlot := rootRef.slot
+		rootRef.task.Out = func() []float64 {
+			if c := cands[rootSlot]; c != nil {
+				return c.Fac.Data
+			}
+			return nil
+		}
+	}
 
 	// --- Finalize: build swaps, pivot the panel, write the composite. ---
 	fin := &sched.Task{
@@ -322,6 +394,31 @@ func (b *caluBuilder) buildIteration(k int) {
 		t := fin
 		t.Run = func() {
 			root := cands[rootSlot]
+			// ABFT gate: before anything is written back, the tournament's
+			// composite must reproduce the column sums of the winner rows it
+			// claims to factor — those rows are still pristine in a, so a
+			// mismatch means silent corruption somewhere in the reduction
+			// tree, and the panel can be recomputed locally from source. A
+			// rank-deficient earlier panel leaves the trailing matrix
+			// non-finite, so the gate goes inert then (like the V chain)
+			// rather than converting the permanent ErrSingular into a
+			// retryable ErrCorrupted.
+			if b.verifyOn() && !b.taintedBefore(k) && !abft.VerifyLUPanel(b.a, root.Idx, root.Fac, c0, b.vtol()) {
+				if cb := b.opt.OnCorruption; cb != nil {
+					cb(k)
+				}
+				if b.opt.MaxPanelRecomputes < 0 || b.nRecomp >= b.opt.MaxPanelRecomputes {
+					panic(fmt.Errorf("%w: CALU panel %d composite checksum mismatch, recompute budget exhausted", ErrCorrupted, k))
+				}
+				b.nRecomp++
+				b.recomputed[k] = true
+				t.Label += " [abft-recompute]"
+				b.geppFallback(k, r0, c0, w)
+				if cb := b.opt.OnPanelRecompute; cb != nil {
+					cb(k)
+				}
+				return
+			}
 			// Pivot-growth guardrail: tournament pivoting's growth bound
 			// (2^(b*H)) is weaker than GEPP's, so when the composite's
 			// max|U| blows past the threshold the whole panel is
@@ -352,6 +449,7 @@ func (b *caluBuilder) buildIteration(k int) {
 				}
 			}
 		}
+		fin.Out = func() []float64 { return b.a.Col(c0)[r0 : r0+min(mr, w)] }
 	}
 	b.g.Add(fin)
 	b.dep(fin, rootRef.task)
@@ -380,6 +478,7 @@ func (b *caluBuilder) buildIteration(k int) {
 				lblk := b.a.View(lo, c0, rows, w)
 				blas.Trsm(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, 1, ukk, lblk)
 			}
+			t.Out = func() []float64 { return b.a.Col(c0)[lo:hi] }
 		}
 		b.g.Add(t)
 		b.dep(t, b.fronts[k].write(lo, hi, t)...)
@@ -409,6 +508,7 @@ func (b *caluBuilder) buildIteration(k int) {
 				ukj := b.a.View(r0, gc0, w, gw)
 				blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, lkk, ukj)
 			}
+			t.Out = func() []float64 { return b.a.Col(gc0)[r0 : r0+w] }
 		}
 		b.g.Add(u)
 		b.dep(u, fin)
@@ -434,6 +534,7 @@ func (b *caluBuilder) buildIteration(k int) {
 					aij := b.a.View(lo, gc0, rows, gw)
 					blas.Gemm(blas.NoTrans, blas.NoTrans, -1, lik, ukj, 1, aij)
 				}
+				t.Out = func() []float64 { return b.a.Col(gc0)[lo:hi] }
 			}
 			b.g.Add(s)
 			b.dep(s, u, lTasks[i])
@@ -442,22 +543,84 @@ func (b *caluBuilder) buildIteration(k int) {
 			}
 		}
 	}
+
+	// --- Task V: ABFT checksum verification of the finished block column.
+	// By this point rows [0, r0) of the column hold final U entries (written
+	// by earlier panels' U tasks and never touched again — later row swaps
+	// anchor below them) and rows [r0, m) hold the panel's L\U, so the
+	// column-sum identity over the original matrix is checkable. The V tasks
+	// chain (each reads the L sums its predecessors accumulated) and gate
+	// nothing but the next V, so verification rides the graph's slack.
+	if b.verifyOn() {
+		v := &sched.Task{
+			Label:    fmt.Sprintf("V k=%d", k),
+			Kind:     sched.KindP,
+			Priority: priority(opt, b.nb, k, k, bonusV),
+			Flops:    2 * float64(b.m) * float64(w),
+			Class:    sched.ClassBLAS2,
+			Rows:     b.m,
+		}
+		t := v
+		t.Run = func() {
+			// A rank-deficient panel leaves the column incomplete; flagging
+			// it as corrupted would convert the permanent ErrSingular into a
+			// retryable error, so the chain goes inert instead.
+			if b.vpoison || b.errs[k] != nil {
+				b.vpoison = true
+				return
+			}
+			abft.AccumulateLSums(b.a, c0, c1, b.vsums)
+			if bad := abft.VerifyLUColumns(b.a, c0, c1, b.vsums, b.wsums, b.vtol()); bad != -1 {
+				if cb := b.opt.OnCorruption; cb != nil {
+					cb(k)
+				}
+				panic(fmt.Errorf("%w: CALU column %d checksum mismatch (panel %d)", ErrCorrupted, bad, k))
+			}
+		}
+		b.g.Add(v)
+		b.dep(v, b.fronts[k].read(0, b.m)...)
+		b.dep(v, b.vprev)
+		b.vprev = v
+	}
+}
+
+// candRows exposes a tournament candidate's row buffer for fault injection
+// (sched.Task.Out); nil until the task has produced its candidate.
+func candRows(cands []*tslu.Candidates, slot int) []float64 {
+	if c := cands[slot]; c != nil {
+		return c.Rows.Data
+	}
+	return nil
 }
 
 // geppFallback re-factors iteration k's panel with straight partial
-// pivoting (the recursive GEPP kernel) after the growth guardrail tripped,
-// producing output in exactly the tournament finalize's shape: the GEPP
-// interchanges become the iteration's swap list, applied to the full block
-// column, and the factor's leading square block becomes the composite L\U —
-// the downstream L/U/S tasks cannot tell which pivoting produced them. A
-// rank-deficient panel is recorded in b.errs like the tournament path does.
+// pivoting (the recursive GEPP kernel) after the growth guardrail tripped
+// or verify mode caught a corrupted tournament, producing output in exactly
+// the tournament finalize's shape: the GEPP interchanges become the
+// iteration's swap list, applied to the full block column, and the factor's
+// leading square block becomes the composite L\U — the downstream L/U/S
+// tasks cannot tell which pivoting produced them. A rank-deficient panel is
+// recorded in b.errs like the tournament path does. In verify mode the
+// recomputed factor must itself reproduce the panel's pre-factoring column
+// sums; a recomputation that disagrees again escalates to ErrCorrupted (the
+// recovery ladder's next rung: full retry from the original matrix).
 func (b *caluBuilder) geppFallback(k, r0, c0, w int) {
 	mr := b.m - r0
 	panel := scratch.Dense(mr, w)
 	panel.CopyFrom(b.a.View(r0, c0, mr, w))
+	var ws []float64
+	if b.verifyOn() {
+		ws = scratch.Get(w)
+		defer scratch.Put(ws)
+		abft.ColumnSums(panel, ws)
+	}
 	kk := min(mr, w)
 	ipiv := make([]int, kk)
 	err := lapack.RGETF2(panel, ipiv)
+	if b.verifyOn() && err == nil && !abft.VerifyGEPPPanel(panel, ws, b.vtol()) {
+		scratch.Release(panel)
+		panic(fmt.Errorf("%w: CALU panel %d recomputation failed verification", ErrCorrupted, k))
+	}
 	sw := make([]int, kk)
 	for j, p := range ipiv {
 		sw[j] = r0 + p

@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 
+	"repro/internal/abft"
 	"repro/internal/blas"
 	"repro/internal/matrix"
 	"repro/internal/sched"
@@ -134,7 +136,12 @@ func CAQRWithPoolCtx(ctx context.Context, a *matrix.Dense, opt Options, pool *sc
 	if err := validateInput(a); err != nil {
 		return nil, err
 	}
-	if _, err := scanFinite(a); err != nil {
+	var wsums []float64
+	if opt.Verify {
+		wsums = make([]float64, a.Cols)
+	}
+	maxA, err := scanFinite(a, wsums)
+	if err != nil {
 		return nil, err
 	}
 	if a.Rows < a.Cols {
@@ -154,6 +161,11 @@ func CAQRWithPoolCtx(ctx context.Context, a *matrix.Dense, opt Options, pool *sc
 	res := &QRResult{A: a}
 	b := newCAQRBuilder(a.Rows, a.Cols, &opt)
 	b.bind(a, res)
+	b.maxA = maxA
+	if opt.Verify {
+		b.wsums = wsums
+		b.u = onesVector(a.Rows)
+	}
 	b.build()
 	events, err := runGraph(ctx, b.g, &opt, pool)
 	res.Events = events
@@ -185,6 +197,40 @@ type caqrBuilder struct {
 
 	a   *matrix.Dense
 	res *QRResult
+
+	// Verify-mode state. u is the carried checksum vector: it starts as the
+	// ones vector and every Householder transform applied to the trailing
+	// matrix is also applied to it (tasks C), so after panel k it holds
+	// Q_k^T...Q_1^T e and the identity u^T R = e^T A is checkable column by
+	// column. ufront orders the C tasks exactly as the matrix frontier
+	// orders the S tasks. wsums holds the pristine input's column sums.
+	maxA   float64
+	wsums  []float64
+	u      *matrix.Dense
+	ufront frontier
+}
+
+// verifyOn reports whether this builder checks ABFT invariants.
+func (b *caqrBuilder) verifyOn() bool { return b.a != nil && b.opt.Verify }
+
+// vtol is the absolute checksum tolerance for the QR identity. The carried
+// u has unit columns' worth of mass spread over m entries (|u_i| <= sqrt(m))
+// and |R| <= sqrt(m) * max|A|, so predictions scale like m * max|A| with an
+// extra sqrt(m) of headroom for the longer accumulation chains.
+func (b *caqrBuilder) vtol() float64 {
+	fm := float64(b.m)
+	return b.opt.VerifyTolerance * fm * math.Sqrt(fm) * b.maxA
+}
+
+// onesVector returns the m x 1 ones vector e, the seed of the carried
+// checksum u = Q^T e.
+func onesVector(m int) *matrix.Dense {
+	u := matrix.New(m, 1)
+	col := u.Col(0)
+	for i := range col {
+		col[i] = 1
+	}
+	return u
 }
 
 func newCAQRBuilder(m, n int, opt *Options) *caqrBuilder {
@@ -270,6 +316,7 @@ func (b *caqrBuilder) buildIteration(k int) {
 		}
 		if b.a != nil {
 			t.Run = func() { f.Leaves[i] = tsqr.FactorLeaf(f.Panel, lo, rows) }
+			t.Out = func() []float64 { return b.a.Col(c0)[r0+lo : r0+hi] }
 		}
 		b.g.Add(t)
 		b.dep(t, b.fronts[k].write(r0+lo, r0+hi, t)...)
@@ -294,6 +341,7 @@ func (b *caqrBuilder) buildIteration(k int) {
 					c := b.a.View(r0, gc0, mr, gw)
 					f.ApplyLeafQT(i, c)
 				}
+				t.Out = func() []float64 { return b.a.Col(gc0)[r0+lo : r0+hi] }
 			}
 			b.g.Add(s)
 			b.dep(s, t)
@@ -304,8 +352,10 @@ func (b *caqrBuilder) buildIteration(k int) {
 	}
 
 	// --- Reduction-tree P tasks and their pairwise updates (S tasks). ---
+	treeTasks := make([][]*sched.Task, len(levels))
 	for l := range levels {
 		l := l
+		treeTasks[l] = make([]*sched.Task, len(levels[l]))
 		for q := range levels[l] {
 			q := q
 			node := levels[l][q]
@@ -337,10 +387,13 @@ func (b *caqrBuilder) buildIteration(k int) {
 					merge = tsqr.MergeCarriersStructured
 				}
 				t.Run = func() { f.Levels[l][q] = merge(f.Panel, in) }
+				out := node.Out
+				t.Out = func() []float64 { return b.a.Col(c0)[r0+out.Row : r0+out.Row+out.K] }
 			}
 			b.g.Add(t)
 			b.dep(t, deps...)
 			producers[node.Out.Row] = t
+			treeTasks[l][q] = t
 
 			for j0 := k + 1; j0 < b.nb; j0 += opt.ColsPerTask {
 				j1 := min(b.nb, j0+opt.ColsPerTask)
@@ -365,6 +418,8 @@ func (b *caqrBuilder) buildIteration(k int) {
 						c := b.a.View(r0, gc0, mr, gw)
 						f.ApplyNodeQT(l, q, c)
 					}
+					cr := node.In[0]
+					t.Out = func() []float64 { return b.a.Col(gc0)[r0+cr.Row : r0+cr.Row+cr.K] }
 				}
 				b.g.Add(s)
 				b.dep(s, t)
@@ -375,6 +430,80 @@ func (b *caqrBuilder) buildIteration(k int) {
 				}
 			}
 		}
+	}
+
+	// --- Tasks C and V: carry the checksum vector and verify the column. ---
+	// Each C task mirrors one S task's transform onto the carried u (the
+	// tree applications are genuine orthogonal transforms, so u really is
+	// Q^T...Q^T e), ordered by their own frontier exactly as the S tasks are
+	// ordered by the matrix frontiers. V then checks u^T R against the
+	// original column sums. QR panels are factored in place — there is no
+	// pristine source to recompute from — so a V mismatch always escalates
+	// to ErrCorrupted and the full-retry rung of the recovery ladder.
+	if b.verifyOn() {
+		uview := b.u.View(r0, 0, mr, 1)
+		for i, blk := range blocks {
+			i := i
+			lo, hi := blk[0], blk[1]
+			c := &sched.Task{
+				Label:    fmt.Sprintf("C k=%d leaf=%d", k, i),
+				Kind:     sched.KindS,
+				Priority: priority(opt, b.nb, k, k, bonusV),
+				Flops:    4 * float64(hi-lo) * float64(w),
+				Class:    sched.ClassBLAS2,
+			}
+			t := c
+			t.Run = func() { f.ApplyLeafQT(i, uview) }
+			b.g.Add(c)
+			b.dep(c, leafTasks[i])
+			b.dep(c, b.ufront.write(r0+lo, r0+hi, c)...)
+		}
+		for l := range levels {
+			l := l
+			for q := range levels[l] {
+				q := q
+				node := levels[l][q]
+				total := 0
+				for _, cr := range node.In {
+					total += cr.K
+				}
+				c := &sched.Task{
+					Label:    fmt.Sprintf("C k=%d tree l=%d q=%d", k, l, q),
+					Kind:     sched.KindS,
+					Priority: priority(opt, b.nb, k, k, bonusV),
+					Flops:    4 * float64(total) * float64(w),
+					Class:    sched.ClassSmall,
+				}
+				t := c
+				t.Run = func() { f.ApplyNodeQT(l, q, uview) }
+				b.g.Add(c)
+				b.dep(c, treeTasks[l][q])
+				for _, cr := range node.In {
+					b.dep(c, b.ufront.write(r0+cr.Row, r0+cr.Row+cr.K, c)...)
+				}
+			}
+		}
+		v := &sched.Task{
+			Label:    fmt.Sprintf("V k=%d", k),
+			Kind:     sched.KindP,
+			Priority: priority(opt, b.nb, k, k, bonusV),
+			Flops:    2 * float64(c1) * float64(w),
+			Class:    sched.ClassBLAS2,
+			Rows:     b.m,
+		}
+		t := v
+		t.Run = func() {
+			if bad := abft.VerifyQRColumns(b.a, b.u.Col(0), c0, c1, b.wsums, b.vtol()); bad != -1 {
+				if cb := b.opt.OnCorruption; cb != nil {
+					cb(k)
+				}
+				panic(fmt.Errorf("%w: CAQR column %d checksum mismatch (panel %d)", ErrCorrupted, bad, k))
+			}
+		}
+		b.g.Add(v)
+		b.dep(v, producers[0])
+		b.dep(v, b.fronts[k].read(0, b.m)...)
+		b.dep(v, b.ufront.read(0, b.m)...)
 	}
 }
 

@@ -48,6 +48,15 @@ var ErrSingular = tslu.ErrSingular
 // transient one.
 var ErrNonFinite = errors.New("core: matrix contains a non-finite value")
 
+// ErrCorrupted reports that verify mode (Options.Verify) detected silent
+// data corruption — a checksum invariant failed at a panel boundary — and
+// in-place recovery (recomputing the offending panel from its still-pristine
+// source) either was not possible or disagreed again. Unlike ErrSingular or
+// ErrNonFinite this is a transient fault, not a property of the input:
+// retrying the whole factorization from the original matrix is the correct
+// response, and factor.Engine's retry policy treats it that way.
+var ErrCorrupted = errors.New("core: checksum mismatch, factorization corrupted")
+
 // Options configures CALU and CAQR.
 type Options struct {
 	// BlockSize is the panel width b. The paper uses b = min(100, n).
@@ -87,6 +96,33 @@ type Options struct {
 	StructuredTree bool
 	// Trace records per-task execution events (Figs. 3-4).
 	Trace bool
+	// Verify arms algorithm-based fault tolerance: column checksums of the
+	// input are captured up front and the factorization's checksum
+	// invariants are re-checked at every panel boundary (see internal/abft).
+	// A mismatch in a CALU panel's own factors triggers an in-place
+	// recomputation of that panel from its still-pristine source (bounded
+	// by MaxPanelRecomputes); a mismatch that recomputation cannot clear —
+	// or any mismatch in CAQR, whose panels are factored in place — fails
+	// the run with an error wrapping ErrCorrupted, which is retryable.
+	Verify bool
+	// VerifyTolerance scales the checksum comparison tolerance: a column's
+	// predicted and actual checksums may differ by up to
+	// VerifyTolerance * m * max|A|. Zero defaults to 1e-8 — roughly six
+	// orders of magnitude above the identity's roundoff noise for the sizes
+	// this library targets, and twelve below a flipped exponent bit.
+	VerifyTolerance float64
+	// MaxPanelRecomputes caps how many panels one CALU run may recompute
+	// before escalating to ErrCorrupted. Zero defaults to 2; negative
+	// disables local recovery (every detection escalates).
+	MaxPanelRecomputes int
+	// OnCorruption, when set, is called with the panel index every time a
+	// checksum mismatch is detected. Called from scheduler workers —
+	// implementations must be safe for concurrent use.
+	OnCorruption func(panel int)
+	// OnPanelRecompute, when set, is called with the panel index after a
+	// detected corruption was repaired by recomputing the panel in place.
+	// Same concurrency contract as OnCorruption.
+	OnPanelRecompute func(panel int)
 }
 
 // DefaultOptions returns the paper's defaults for an n-column matrix on
@@ -130,6 +166,12 @@ func (o *Options) normalize(m, n int) error {
 	if o.ColsPerTask < 1 {
 		o.ColsPerTask = 1
 	}
+	if o.VerifyTolerance <= 0 {
+		o.VerifyTolerance = 1e-8
+	}
+	if o.MaxPanelRecomputes == 0 {
+		o.MaxPanelRecomputes = 2
+	}
 	return nil
 }
 
@@ -150,16 +192,24 @@ func validateInput(a *matrix.Dense) error {
 // ErrNonFinite (with the first offending coordinate) if any entry is NaN
 // or Inf, and max|A| otherwise. The max feeds the pivot-growth guardrail's
 // denominator, so the pre-factorization scan does double duty in one pass.
-func scanFinite(a *matrix.Dense) (float64, error) {
+// A non-nil colsums (length >= a.Cols) additionally receives the column
+// sums of the pristine input — the ABFT checksum vector verify mode checks
+// the finished factors against.
+func scanFinite(a *matrix.Dense, colsums []float64) (float64, error) {
 	maxA := 0.0
 	for j := 0; j < a.Cols; j++ {
+		sum := 0.0
 		for i, v := range a.Col(j) {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				return 0, fmt.Errorf("%w: A(%d,%d) = %v", ErrNonFinite, i, j, v)
 			}
+			sum += v
 			if v = math.Abs(v); v > maxA {
 				maxA = v
 			}
+		}
+		if colsums != nil {
+			colsums[j] = sum
 		}
 	}
 	return maxA, nil
@@ -209,6 +259,7 @@ const (
 	bonusL        = 85
 	bonusU        = 80
 	bonusS        = 70
+	bonusV        = 60 // checksum verification rides the schedule's slack
 )
 
 // span is a half-open row interval [lo, hi) with the task that last wrote it.

@@ -22,6 +22,7 @@ package fault
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -58,6 +59,14 @@ const (
 	// tests register a context.CancelFunc to model an external
 	// cancellation landing mid-factorization.
 	CancelOnce
+	// Corrupt silently perturbs the selected task's output buffer after
+	// its Run completes — a single element gets a bit flipped (Rule.Bit) or
+	// a value added (Rule.Perturb). The task itself succeeds; only the data
+	// is wrong, which is exactly the silent-corruption failure mode ABFT
+	// verification exists to catch. Corrupt rules fire from InterceptPost
+	// (sched.PostInterceptor), never from Intercept, and only on tasks that
+	// declare an output buffer.
+	Corrupt
 )
 
 // String names the kind in stats and errors.
@@ -71,13 +80,15 @@ func (k Kind) String() string {
 		return "error"
 	case CancelOnce:
 		return "cancel-once"
+	case Corrupt:
+		return "corrupt"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
 // nKinds is the size of the per-kind counter array.
-const nKinds = int(CancelOnce) + 1
+const nKinds = int(Corrupt) + 1
 
 // Rule selects tasks and the fault applied to them.
 type Rule struct {
@@ -94,6 +105,16 @@ type Rule struct {
 	Count int
 	// Delay is the sleep duration for Kind Delay.
 	Delay time.Duration
+	// Bit is the bit index (0-62) flipped in the targeted float64 for Kind
+	// Corrupt when Perturb is zero. The default 0 is remapped to 62 — the
+	// top exponent bit — so a default-configured corruption is numerically
+	// enormous and unmistakably wrong, never a plausible value. Bit 63
+	// (the sign) is excluded: flipping the sign of a zero is invisible.
+	Bit int
+	// Perturb, when non-zero, is added to the targeted element instead of
+	// flipping a bit — it models a small-magnitude silent error near the
+	// detection tolerance rather than a catastrophic one.
+	Perturb float64
 }
 
 // rule is a Rule plus its firing budget.
@@ -152,6 +173,9 @@ func (in *Injector) Injected(k Kind) int64 { return in.counts[k].Load() }
 // pool.SetInterceptor(inj.Intercept) or factor.EngineConfig.Interceptor.
 func (in *Injector) Intercept(info sched.TaskInfo) error {
 	for _, r := range in.rules {
+		if r.Kind == Corrupt {
+			continue // output corruption fires post-run, from InterceptPost
+		}
 		if r.Match != "" && !strings.Contains(info.Label, r.Match) {
 			continue
 		}
@@ -181,6 +205,44 @@ func (in *Injector) Intercept(info sched.TaskInfo) error {
 	return nil
 }
 
+// InterceptPost is the sched.PostInterceptor: install it with
+// pool.SetPostInterceptor(inj.InterceptPost) or
+// factor.EngineConfig.PostInterceptor. It applies the injector's Corrupt
+// rules to the finished task's output buffer. The corrupted element index
+// is derived from the same (seed, label) hash as target selection, so a
+// given seed corrupts the same element of the same tasks on every run.
+func (in *Injector) InterceptPost(info sched.TaskInfo) {
+	for _, r := range in.rules {
+		if r.Kind != Corrupt {
+			continue
+		}
+		if r.Match != "" && !strings.Contains(info.Label, r.Match) {
+			continue
+		}
+		if !selected(in.seed, info.Label, r.Rate) {
+			continue
+		}
+		buf := info.Output()
+		if len(buf) == 0 {
+			continue
+		}
+		if !r.spend() {
+			continue
+		}
+		in.counts[Corrupt].Add(1)
+		idx := int(labelHash(in.seed, info.Label) % uint64(len(buf)))
+		if r.Perturb != 0 {
+			buf[idx] += r.Perturb
+		} else {
+			bit := uint(r.Bit)
+			if bit == 0 || bit > 62 {
+				bit = 62
+			}
+			buf[idx] = math.Float64frombits(math.Float64bits(buf[idx]) ^ (1 << bit))
+		}
+	}
+}
+
 // spend consumes one firing slot, returning false when the budget is gone.
 func (r *rule) spend() bool {
 	for {
@@ -203,6 +265,15 @@ func selected(seed int64, label string, rate float64) bool {
 	if rate >= 1 {
 		return true
 	}
+	// Top 53 bits give a uniform double in [0, 1).
+	u := float64(labelHash(seed, label)>>11) / (1 << 53)
+	return u < rate
+}
+
+// labelHash is the 64-bit FNV-1a hash of the seed bytes followed by the
+// label bytes — the deterministic source for both target selection and
+// corrupted-element choice.
+func labelHash(seed int64, label string) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -217,7 +288,5 @@ func selected(seed int64, label string, rate float64) bool {
 		h ^= uint64(label[i])
 		h *= prime64
 	}
-	// Top 53 bits give a uniform double in [0, 1).
-	u := float64(h>>11) / (1 << 53)
-	return u < rate
+	return h
 }

@@ -78,6 +78,12 @@ type Task struct {
 	// recursive). Machine models distinguish cache-resident short panels
 	// from streaming tall ones by this hint; zero means unknown/tall.
 	Rows int
+	// Out, when set, returns the buffer the task writes its result into.
+	// It is evaluated only after Run returns, by the pool's PostInterceptor
+	// (fault injection targets it to model silent data corruption). The
+	// returned slice must alias the live output — a contiguous region whose
+	// every element belongs to the task's result — not a copy.
+	Out func() []float64
 
 	succs []int
 	ndeps int

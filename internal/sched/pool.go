@@ -47,6 +47,11 @@ type TaskInfo struct {
 	Kind Kind
 	// Worker is the index of the pool goroutine about to run the task.
 	Worker int
+	// Output exposes the task's declared output buffer (Task.Out), when the
+	// task declares one. It is non-nil only for post-run hooks
+	// (PostInterceptor); pre-run interceptors always see nil, since the
+	// buffer's contents are not this task's yet.
+	Output func() []float64
 }
 
 // Interceptor is a per-task hook invoked by the pool immediately before a
@@ -56,6 +61,14 @@ type TaskInfo struct {
 // injection in chaos tests (see internal/fault); production pools leave it
 // unset and pay a single nil-check per task.
 type Interceptor func(TaskInfo) error
+
+// PostInterceptor is a per-task hook invoked immediately after a task's Run
+// returns, under the same recover barrier, and only for tasks that declare
+// an output buffer (Task.Out non-nil). It exists so fault injection can
+// corrupt a task's freshly written output deterministically — successors
+// have not been enqueued yet, so whatever the hook writes is exactly what
+// the rest of the graph consumes. Production pools leave it unset.
+type PostInterceptor func(TaskInfo)
 
 // SubmitOptions configures one graph submission.
 type SubmitOptions struct {
@@ -97,7 +110,8 @@ type Pool struct {
 	subs        []*Submission // submissions with unfinished tasks
 	rr          int           // round-robin cursor over subs, for fairness
 	closed      bool
-	interceptor Interceptor // per-task hook; nil in production
+	interceptor Interceptor     // per-task pre-run hook; nil in production
+	postIc      PostInterceptor // per-task post-run hook; nil in production
 	wg          sync.WaitGroup
 }
 
@@ -173,6 +187,14 @@ func (p *Pool) Workers() int { return p.workers }
 func (p *Pool) SetInterceptor(fn Interceptor) {
 	p.mu.Lock()
 	p.interceptor = fn
+	p.mu.Unlock()
+}
+
+// SetPostInterceptor installs (or, with nil, removes) the pool's post-run
+// hook, with the same dispatch semantics as SetInterceptor.
+func (p *Pool) SetPostInterceptor(fn PostInterceptor) {
+	p.mu.Lock()
+	p.postIc = fn
 	p.mu.Unlock()
 }
 
@@ -471,13 +493,14 @@ func (p *Pool) worker(id int) {
 		}
 		skip := s.failed != nil
 		ic := p.interceptor
+		post := p.postIc
 		p.mu.Unlock()
 
 		t0 := time.Since(s.start)
 		ran := t.Run != nil && !skip
 		var failure error
 		if ran {
-			failure = runTask(t, ic, id)
+			failure = runTask(t, ic, post, id)
 		}
 		t1 := time.Since(s.start)
 		p.completed.Add(1)

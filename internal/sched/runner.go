@@ -91,8 +91,12 @@ func runOneShot(g *Graph, workers int, opt SubmitOptions) []Event {
 //
 // When the pool carries an Interceptor it runs first, under the same
 // recover barrier: an interceptor error fails the task without running it,
-// and an interceptor panic is captured like a task panic.
-func runTask(t *Task, ic Interceptor, worker int) (captured error) {
+// and an interceptor panic is captured like a task panic. A PostInterceptor
+// runs after Run returns, still under the barrier, and only for tasks that
+// declare an output buffer — it sees the task's output before any successor
+// is enqueued, which is what makes injected output corruption a
+// deterministic dataflow event rather than a race.
+func runTask(t *Task, ic Interceptor, post PostInterceptor, worker int) (captured error) {
 	// calint:ignore hotpath-alloc -- the recover barrier is one closure per task, amortized by the task body it protects
 	defer func() {
 		if p := recover(); p != nil {
@@ -112,6 +116,9 @@ func runTask(t *Task, ic Interceptor, worker int) (captured error) {
 		}
 	}
 	t.Run()
+	if post != nil && t.Out != nil {
+		post(TaskInfo{Label: t.Label, Kind: t.Kind, Worker: worker, Output: t.Out})
+	}
 	return nil
 }
 
